@@ -1,0 +1,113 @@
+// Ablation study over the performance model's design choices (the
+// mechanisms DESIGN.md claims explain the paper's shapes). For each
+// ablated term we regenerate the Table-1/3 stream rows and report how
+// the paper's signature pathologies react:
+//   * no cluster mesh-port cap  -> block-4 stops being flat;
+//   * no oversubscription knee  -> the block-32 dip and the 64-thread
+//     collapse disappear;
+//   * no sync cost              -> tiny-loop kernels stop limiting apps;
+//   * no scalar-stream derate   -> FP64/scalar memory kernels speed up
+//     and Figure 2's stream benefit vanishes.
+#include <iostream>
+
+#include "kernels/register_all.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sgp;
+
+struct Ablation {
+  const char* name;
+  void (*apply)(machine::MachineDescriptor&);
+};
+
+double stream_speedup(const machine::MachineDescriptor& m, int threads,
+                      machine::Placement placement) {
+  const sim::Simulator sim(m);
+  sim::SimConfig cfg;
+  cfg.precision = core::Precision::FP32;
+  cfg.placement = placement;
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& sig : kernels::all_signatures()) {
+    if (sig.group != core::Group::Stream) continue;
+    cfg.nthreads = 1;
+    const double t1 = sim.seconds(sig, cfg);
+    cfg.nthreads = threads;
+    sum += t1 / sim.seconds(sig, cfg);
+    ++n;
+  }
+  return sum / n;
+}
+
+double fig2_stream_benefit(const machine::MachineDescriptor& m) {
+  const sim::Simulator sim(m);
+  sim::SimConfig scalar, vec;
+  scalar.precision = vec.precision = core::Precision::FP32;
+  scalar.vector_mode = core::VectorMode::Scalar;
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& sig : kernels::all_signatures()) {
+    if (sig.group != core::Group::Stream) continue;
+    sum += sim.seconds(sig, scalar) / sim.seconds(sig, vec);
+    ++n;
+  }
+  return sum / n;
+}
+
+}  // namespace
+
+int main() {
+  const Ablation ablations[] = {
+      {"full model", [](machine::MachineDescriptor&) {}},
+      {"no cluster port cap",
+       [](machine::MachineDescriptor& m) { m.cluster_bw_gbs = 0.0; }},
+      {"no oversubscription knee",
+       [](machine::MachineDescriptor& m) { m.oversubscribe_gamma = 0.0; }},
+      {"no sync cost",
+       [](machine::MachineDescriptor& m) {
+         m.fork_join_us = 0.0;
+         m.barrier_us_per_thread = 0.0;
+       }},
+      {"no scalar stream derate",
+       [](machine::MachineDescriptor& m) {
+         m.core.scalar_stream_derate = 1.0;
+       }},
+  };
+
+  std::cout << "== Ablation: which model terms produce the paper's "
+               "pathologies? ==\n";
+  std::cout << "(stream-class speedups on the SG2042, FP32; paper values: "
+               "block-4 ~1.0, block-16 ~4.3, block-32 ~0.8, cluster-32 "
+               "~15, any-64 ~1.5-1.8; fig2 stream vec/scalar ~2x)\n\n";
+
+  report::Table t({"model variant", "block-4", "block-16", "block-32",
+                   "cluster-32", "cluster-64", "fig2 stream"});
+  for (const auto& a : ablations) {
+    auto m = machine::sg2042();
+    a.apply(m);
+    t.add_row({a.name,
+               report::Table::num(
+                   stream_speedup(m, 4, machine::Placement::Block), 2),
+               report::Table::num(
+                   stream_speedup(m, 16, machine::Placement::Block), 2),
+               report::Table::num(
+                   stream_speedup(m, 32, machine::Placement::Block), 2),
+               report::Table::num(
+                   stream_speedup(m, 32, machine::Placement::ClusterCyclic),
+                   2),
+               report::Table::num(
+                   stream_speedup(m, 64, machine::Placement::ClusterCyclic),
+                   2),
+               report::Table::num(fig2_stream_benefit(m), 2)});
+  }
+  std::cout << t.render() << "\n";
+  std::cout
+      << "Reading: the cluster cap flattens block-4, the knee creates\n"
+         "both the block-32 dip and the 64-thread collapse, and the\n"
+         "scalar-stream derate is what gives FP32 vectorisation its\n"
+         "bandwidth benefit on stream kernels.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared printing/CSV helpers for the reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiments/experiments.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace sgp::bench {
+
+/// Parses "--csv <dir>" from argv; returns the directory if present.
+inline std::optional<std::string> csv_dir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+/// Prints a figure-style series set (one row per class, one column pair
+/// per series: mean and min..max whiskers, in the paper's encoding).
+inline void print_series(const std::string& title,
+                         const std::vector<experiments::RatioSeries>& series) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "(encoding: 0 = same speed, +1 = 2x faster, -1 = 2x "
+               "slower than baseline)\n";
+  std::vector<std::string> headers{"class"};
+  for (const auto& s : series) {
+    headers.push_back(s.label + " avg");
+    headers.push_back("whisker");
+  }
+  report::Table t(headers);
+  for (std::size_t g = 0; g < core::all_groups.size(); ++g) {
+    std::vector<std::string> row{
+        std::string(core::to_string(core::all_groups[g]))};
+    for (const auto& s : series) {
+      const auto& gr = s.groups[g];
+      row.push_back(report::Table::num(gr.mean, 2));
+      row.push_back("[" + report::Table::num(gr.min, 2) + ", " +
+                    report::Table::num(gr.max, 2) + "]");
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render() << "\n";
+}
+
+/// Writes a series set as CSV (long format).
+inline void write_series_csv(const std::string& path,
+                             const std::vector<experiments::RatioSeries>& s) {
+  report::CsvWriter csv({"series", "class", "mean", "min", "max",
+                         "kernels"});
+  for (const auto& series : s) {
+    for (const auto& g : series.groups) {
+      csv.add_row({series.label, std::string(core::to_string(g.group)),
+                   report::Table::num(g.mean, 4),
+                   report::Table::num(g.min, 4),
+                   report::Table::num(g.max, 4),
+                   std::to_string(g.kernels)});
+    }
+  }
+  csv.write(path);
+}
+
+/// Prints a Tables 1-3 style scaling table.
+inline void print_scaling(const std::string& title,
+                          const experiments::ScalingTable& table) {
+  std::cout << "== " << title << " ==\n";
+  std::vector<std::string> headers{"Threads"};
+  for (const auto g : core::all_groups) {
+    headers.push_back(std::string(core::to_string(g)) + " SU");
+    headers.push_back("PE");
+  }
+  report::Table t(headers);
+  for (std::size_t i = 0; i < table.thread_counts.size(); ++i) {
+    std::vector<std::string> row{
+        std::to_string(table.thread_counts[i])};
+    for (const auto g : core::all_groups) {
+      const auto& cell = table.cells.at(g)[i];
+      row.push_back(report::Table::num(cell.speedup, 2));
+      row.push_back(report::Table::num(cell.parallel_efficiency, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render() << "\n";
+}
+
+inline void write_scaling_csv(const std::string& path,
+                              const experiments::ScalingTable& table) {
+  report::CsvWriter csv({"placement", "threads", "class", "speedup",
+                         "parallel_efficiency"});
+  for (std::size_t i = 0; i < table.thread_counts.size(); ++i) {
+    for (const auto g : core::all_groups) {
+      const auto& cell = table.cells.at(g)[i];
+      csv.add_row({std::string(machine::to_string(table.placement)),
+                   std::to_string(table.thread_counts[i]),
+                   std::string(core::to_string(g)),
+                   report::Table::num(cell.speedup, 3),
+                   report::Table::num(cell.parallel_efficiency, 3)});
+    }
+  }
+  csv.write(path);
+}
+
+}  // namespace sgp::bench

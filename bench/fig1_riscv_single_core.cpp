@@ -1,0 +1,15 @@
+// Reproduces Figure 1: single-core comparison of the VisionFive V1/V2
+// and the SG2042, FP32 and FP64, baselined against the V2 at FP64.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto series = sgp::experiments::figure1();
+  sgp::bench::print_series(
+      "Figure 1: single-core RISC-V comparison (baseline: VisionFive V2 "
+      "FP64)",
+      series);
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::bench::write_series_csv(*dir + "/fig1.csv", series);
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 2: single-core speedup from enabling RVV
+// vectorisation on the SG2042's C920, per precision.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto series = sgp::experiments::figure2();
+  sgp::bench::print_series(
+      "Figure 2: C920 vectorisation on/off (baseline: scalar build)",
+      series);
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::bench::write_series_csv(*dir + "/fig2.csv", series);
+  }
+  return 0;
+}

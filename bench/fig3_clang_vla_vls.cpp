@@ -1,0 +1,43 @@
+// Reproduces Figure 3: Clang VLA/VLS vs GCC for Polybench kernels at
+// FP32 on a single C920 core (via the RVV v1.0 -> v0.7.1 rollback).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto rows = sgp::experiments::figure3();
+  std::cout << "== Figure 3: Clang VLA/VLS vs GCC, Polybench FP32, single "
+               "C920 core ==\n";
+  std::cout << "(encoding: 0 = same speed, +1 = Clang 2x faster, -1 = "
+               "Clang 2x slower; * = kernel named in the paper's figure)\n";
+  sgp::report::Table t(
+      {"kernel", "Clang VLA", "Clang VLS", "GCC path", "Clang path"});
+  for (const auto& r : rows) {
+    const std::string gcc_path = !r.gcc_vectorizes
+                                     ? "not vectorised"
+                                     : (r.gcc_runtime_scalar
+                                            ? "vectorised, scalar at runtime"
+                                            : "vector");
+    t.add_row({r.kernel + (r.paper_named ? " *" : ""),
+               sgp::report::Table::num(r.clang_vla, 2),
+               sgp::report::Table::num(r.clang_vls, 2), gcc_path,
+               r.clang_vectorizes ? "vector" : "not vectorised"});
+  }
+  std::cout << t.render() << "\n";
+
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::report::CsvWriter csv({"kernel", "clang_vla", "clang_vls",
+                                "gcc_vectorizes", "gcc_runtime_scalar",
+                                "clang_vectorizes", "paper_named"});
+    for (const auto& r : rows) {
+      csv.add_row({r.kernel, sgp::report::Table::num(r.clang_vla, 4),
+                   sgp::report::Table::num(r.clang_vls, 4),
+                   r.gcc_vectorizes ? "1" : "0",
+                   r.gcc_runtime_scalar ? "1" : "0",
+                   r.clang_vectorizes ? "1" : "0",
+                   r.paper_named ? "1" : "0"});
+    }
+    csv.write(*dir + "/fig3.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 4: x86 vs SG2042, single core, FP64.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto series = sgp::experiments::x86_comparison(
+      sgp::core::Precision::FP64, /*multithreaded=*/false);
+  sgp::bench::print_series(
+      "Figure 4: FP64 single-core x86 comparison (baseline: SG2042)",
+      series);
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::bench::write_series_csv(*dir + "/fig4.csv", series);
+  }
+  return 0;
+}

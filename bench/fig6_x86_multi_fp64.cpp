@@ -1,0 +1,16 @@
+// Reproduces Figure 6: x86 vs SG2042, multithreaded, FP64. Every CPU
+// runs its most performant thread count (all physical cores on x86; 32
+// or 64 per class on the SG2042, cluster placement).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto series = sgp::experiments::x86_comparison(
+      sgp::core::Precision::FP64, /*multithreaded=*/true);
+  sgp::bench::print_series(
+      "Figure 6: FP64 multithreaded x86 comparison (baseline: SG2042)",
+      series);
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::bench::write_series_csv(*dir + "/fig6.csv", series);
+  }
+  return 0;
+}

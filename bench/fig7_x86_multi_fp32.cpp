@@ -1,0 +1,14 @@
+// Reproduces Figure 7: x86 vs SG2042, multithreaded, FP32.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto series = sgp::experiments::x86_comparison(
+      sgp::core::Precision::FP32, /*multithreaded=*/true);
+  sgp::bench::print_series(
+      "Figure 7: FP32 multithreaded x86 comparison (baseline: SG2042)",
+      series);
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::bench::write_series_csv(*dir + "/fig7.csv", series);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// google-benchmark microbenchmarks of the native kernel implementations
+// (one representative kernel per class, both precisions, small sizes).
+// These measure this host, not the modelled machines -- useful for
+// validating that the native loop bodies are sane.
+#include <benchmark/benchmark.h>
+
+#include "core/executor.hpp"
+#include "kernels/register_all.hpp"
+
+namespace {
+
+using sgp::core::Precision;
+
+void run_kernel(benchmark::State& state, const char* name, Precision prec) {
+  static const auto registry = sgp::kernels::make_registry();
+  auto kernel = registry.create(name);
+  sgp::core::RunParams rp;
+  rp.size_factor = 0.02;
+  sgp::core::SerialExecutor exec;
+  kernel->set_up(prec, rp);
+  for (auto _ : state) {
+    kernel->run_rep(prec, exec);
+    benchmark::ClobberMemory();
+  }
+  const auto checksum = kernel->compute_checksum(prec);
+  benchmark::DoNotOptimize(checksum);
+  state.counters["checksum"] = static_cast<double>(checksum);
+  kernel->tear_down();
+}
+
+#define SGP_MICRO(NAME)                                          \
+  void BM_##NAME##_fp32(benchmark::State& s) {                   \
+    run_kernel(s, #NAME, Precision::FP32);                       \
+  }                                                              \
+  void BM_##NAME##_fp64(benchmark::State& s) {                   \
+    run_kernel(s, #NAME, Precision::FP64);                       \
+  }                                                              \
+  BENCHMARK(BM_##NAME##_fp32);                                   \
+  BENCHMARK(BM_##NAME##_fp64)
+
+SGP_MICRO(TRIAD);      // stream
+SGP_MICRO(MEMSET);     // algorithm
+SGP_MICRO(DAXPY);      // basic
+SGP_MICRO(HYDRO_1D);   // lcals
+SGP_MICRO(GEMM);       // polybench
+SGP_MICRO(FIR);        // apps
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// google-benchmark microbenchmarks of the performance model itself:
+// how fast is one Simulator::run, a whole-suite sweep, a placement
+// computation and a rollback pass. Keeps the model cheap enough for
+// interactive tools.
+#include <benchmark/benchmark.h>
+
+#include "experiments/experiments.hpp"
+#include "kernels/register_all.hpp"
+#include "machine/placement.hpp"
+#include "rvv/codegen.hpp"
+#include "rvv/rollback.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sgp;
+
+void BM_SimulatorSingleKernel(benchmark::State& state) {
+  const sim::Simulator sim(machine::sg2042());
+  const auto sigs = kernels::all_signatures();
+  sim::SimConfig cfg;
+  cfg.nthreads = 32;
+  cfg.placement = machine::Placement::ClusterCyclic;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.seconds(sigs[i % sigs.size()], cfg));
+    ++i;
+  }
+}
+BENCHMARK(BM_SimulatorSingleKernel);
+
+void BM_SimulatorFullSuite(benchmark::State& state) {
+  const auto m = machine::sg2042();
+  sim::SimConfig cfg;
+  cfg.nthreads = static_cast<int>(state.range(0));
+  cfg.placement = machine::Placement::ClusterCyclic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiments::kernel_times(m, cfg));
+  }
+}
+BENCHMARK(BM_SimulatorFullSuite)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_PlacementAssign(benchmark::State& state) {
+  const auto m = machine::sg2042();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine::assign_cores(
+        m, machine::Placement::ClusterCyclic,
+        static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PlacementAssign)->Arg(8)->Arg(64);
+
+void BM_RollbackPass(benchmark::State& state) {
+  rvv::LoopSpec spec;
+  spec.loads = 3;
+  spec.stores = 1;
+  const auto v1 =
+      rvv::emit_loop(spec, rvv::CodegenMode::VLA, rvv::Dialect::V1_0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rvv::rollback(v1));
+  }
+}
+BENCHMARK(BM_RollbackPass);
+
+void BM_ScalingTable(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        experiments::scaling_table(machine::Placement::Block));
+  }
+}
+BENCHMARK(BM_ScalingTable);
+
+}  // namespace
+
+BENCHMARK_MAIN();

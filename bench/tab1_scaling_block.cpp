@@ -1,0 +1,14 @@
+// Reproduces Table 1: SG2042 thread scaling (speedup and parallel
+// efficiency) with block placement, FP32.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto table =
+      sgp::experiments::scaling_table(sgp::machine::Placement::Block);
+  sgp::bench::print_scaling(
+      "Table 1: SG2042 scaling, block thread placement (FP32)", table);
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::bench::write_scaling_csv(*dir + "/tab1.csv", table);
+  }
+  return 0;
+}

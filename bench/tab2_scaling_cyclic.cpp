@@ -1,0 +1,14 @@
+// Reproduces Table 2: SG2042 thread scaling with NUMA-cyclic placement.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto table =
+      sgp::experiments::scaling_table(sgp::machine::Placement::CyclicNuma);
+  sgp::bench::print_scaling(
+      "Table 2: SG2042 scaling, NUMA-cyclic thread placement (FP32)",
+      table);
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::bench::write_scaling_csv(*dir + "/tab2.csv", table);
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Table 3: SG2042 thread scaling with cluster-aware cyclic
+// placement.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto table = sgp::experiments::scaling_table(
+      sgp::machine::Placement::ClusterCyclic);
+  sgp::bench::print_scaling(
+      "Table 3: SG2042 scaling, cluster-aware cyclic placement (FP32)",
+      table);
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::bench::write_scaling_csv(*dir + "/tab3.csv", table);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Table 4: the x86 CPUs compared against, as modelled.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "machine/descriptor.hpp"
+
+int main(int argc, char** argv) {
+  std::cout << "== Table 4: x86 CPUs used to compare against the SG2042 "
+               "==\n";
+  sgp::report::Table t(
+      {"CPU", "Clock", "Cores", "Vector", "FP64 vec", "NUMA", "Mem BW"});
+  const auto machines = sgp::machine::x86_machines();
+  for (const auto& m : machines) {
+    const auto& v = *m.core.vector;
+    t.add_row({m.name,
+               sgp::report::Table::num(m.core.clock_ghz, 2) + " GHz",
+               std::to_string(m.num_cores),
+               v.isa + " " + std::to_string(v.width_bits) + "b",
+               v.fp64 ? "yes" : "no", std::to_string(m.numa.size()),
+               sgp::report::Table::num(m.total_mem_bw_gbs(), 0) + " GB/s"});
+  }
+  std::cout << t.render() << "\n";
+
+  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+    sgp::report::CsvWriter csv({"cpu", "clock_ghz", "cores", "vector_isa",
+                                "vector_bits", "fp64_vector",
+                                "numa_regions", "mem_bw_gbs"});
+    for (const auto& m : machines) {
+      const auto& v = *m.core.vector;
+      csv.add_row({m.name, sgp::report::Table::num(m.core.clock_ghz, 2),
+                   std::to_string(m.num_cores), v.isa,
+                   std::to_string(v.width_bits), v.fp64 ? "1" : "0",
+                   std::to_string(m.numa.size()),
+                   sgp::report::Table::num(m.total_mem_bw_gbs(), 1)});
+    }
+    csv.write(*dir + "/tab4.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// The paper's closing wishlist, as a what-if study: "for the next
+// generation ... it would be very useful to have RVV v1.0 ... FP64
+// vectorisation, wider vector registers, increased L1 cache, and more
+// memory controllers per NUMA region". Each variant modifies the SG2042
+// descriptor accordingly and re-runs the x86 comparison so the gap to
+// the AMD Rome CPU can be watched closing.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "kernels/register_all.hpp"
+#include "report/ratio.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace sgp;
+
+struct Variant {
+  const char* name;
+  void (*apply)(machine::MachineDescriptor&);
+};
+
+// Geometric-mean time ratio Rome/variant over the whole suite (values
+// above 1 mean the variant is faster than Rome).
+double vs_rome(const machine::MachineDescriptor& variant,
+               core::Precision prec) {
+  const sim::Simulator v(variant);
+  const sim::Simulator rome(machine::amd_rome());
+
+  sim::SimConfig vcfg;
+  vcfg.precision = prec;
+  vcfg.nthreads = 32;
+  vcfg.placement = machine::Placement::ClusterCyclic;
+  sim::SimConfig rcfg;
+  rcfg.precision = prec;
+  rcfg.nthreads = 64;
+
+  std::vector<double> ratios;
+  for (const auto& sig : kernels::all_signatures()) {
+    ratios.push_back(rome.seconds(sig, rcfg) / v.seconds(sig, vcfg));
+  }
+  return report::geometric_mean(ratios);
+}
+
+}  // namespace
+
+int main() {
+  const Variant variants[] = {
+      {"SG2042 as shipped", [](machine::MachineDescriptor&) {}},
+      {"+ FP64 vectorisation",
+       [](machine::MachineDescriptor& m) {
+         m.core.vector->fp64 = true;
+         m.core.vector->efficiency_fp64 = m.core.vector->efficiency_fp32;
+       }},
+      {"+ 256-bit vectors",
+       [](machine::MachineDescriptor& m) {
+         m.core.vector->fp64 = true;
+         m.core.vector->efficiency_fp64 = m.core.vector->efficiency_fp32;
+         m.core.vector->width_bits = 256;
+       }},
+      {"+ 2 controllers/region",
+       [](machine::MachineDescriptor& m) {
+         m.core.vector->fp64 = true;
+         m.core.vector->efficiency_fp64 = m.core.vector->efficiency_fp32;
+         m.core.vector->width_bits = 256;
+         for (auto& r : m.numa) {
+           r.controllers = 2;
+           r.mem_bw_gbs *= 2.0;
+         }
+         m.oversubscribe_knee = 16.0;  // twice the row-buffer headroom
+         m.cluster_bw_gbs *= 2.0;
+         m.core.stream_bw_gbs *= 1.5;
+       }},
+      {"+ 128 KB L1 / better mem",
+       [](machine::MachineDescriptor& m) {
+         m.core.vector->fp64 = true;
+         m.core.vector->efficiency_fp64 = m.core.vector->efficiency_fp32;
+         m.core.vector->width_bits = 256;
+         for (auto& r : m.numa) {
+           r.controllers = 2;
+           r.mem_bw_gbs *= 2.0;
+         }
+         m.oversubscribe_knee = 16.0;
+         m.cluster_bw_gbs *= 2.0;
+         m.core.stream_bw_gbs *= 1.5;
+         m.l1d.size_bytes *= 2;
+         m.core.scalar_stream_derate = 0.8;  // better scalar prefetch
+       }},
+  };
+
+  std::cout << "== What-if: the conclusion's next-generation wishlist ==\n";
+  std::cout << "Whole-suite geometric-mean performance vs the 64-core AMD "
+               "Rome\n(1.00 = parity; the shipped SG2042 is the first "
+               "row).\n\n";
+
+  report::Table t({"variant (cumulative)", "vs Rome FP64", "vs Rome FP32"});
+  for (const auto& variant : variants) {
+    auto m = machine::sg2042();
+    variant.apply(m);
+    m.validate();
+    t.add_row({variant.name,
+               report::Table::num(vs_rome(m, core::Precision::FP64), 3),
+               report::Table::num(vs_rome(m, core::Precision::FP32), 3)});
+  }
+  std::cout << t.render() << "\n";
+  std::cout << "Each row adds one wishlist item on top of the previous "
+               "row, so the\nlast row is the paper's full hypothetical "
+               "next-generation part.\n";
+  return 0;
+}

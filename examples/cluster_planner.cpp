@@ -1,0 +1,95 @@
+// cluster_planner: given a kernel, how many SG2042 nodes (and which
+// interconnect) does a target speedup need? Uses the distributed-memory
+// model (the paper's "further work") to answer the procurement-style
+// question the paper raises.
+//
+//   ./cluster_planner <kernel> <target-speedup>
+//   e.g. ./cluster_planner JACOBI_2D 16
+#include <cstdlib>
+#include <iostream>
+
+#include "distributed/dist_simulator.hpp"
+#include "kernels/register_all.hpp"
+#include "report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sgp;
+
+  if (argc != 3) {
+    std::cerr << "usage: cluster_planner <kernel> <target-speedup>\n";
+    return 64;
+  }
+  const std::string kernel = argv[1];
+  const double target = std::atof(argv[2]);
+  if (target < 1.0) {
+    std::cerr << "target speedup must be >= 1\n";
+    return 64;
+  }
+
+  core::KernelSignature sig;
+  bool found = false;
+  for (const auto& s : kernels::all_signatures()) {
+    if (s.name == kernel) {
+      sig = s;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << "unknown kernel '" << kernel << "'\n";
+    return 1;
+  }
+
+  sim::SimConfig cfg;
+  cfg.precision = core::Precision::FP32;
+  cfg.nthreads = 32;
+  cfg.placement = machine::Placement::ClusterCyclic;
+
+  const distributed::NetworkDescriptor networks[] = {
+      distributed::gigabit_ethernet(),
+      distributed::ethernet_25g(),
+      distributed::infiniband_hdr(),
+  };
+
+  std::cout << "Planning for " << kernel << " ("
+            << distributed::to_string(
+                   distributed::comm_pattern_for(sig))
+            << " communication), target " << target
+            << "x over one SG2042 node:\n\n";
+
+  report::Table t({"network", "nodes needed", "achieved", "comm share",
+                   "verdict"});
+  for (const auto& net : networks) {
+    distributed::ClusterDescriptor one{machine::sg2042(), net, 1};
+    const double t1 =
+        distributed::DistributedSimulator(one).seconds(sig, cfg);
+
+    int needed = -1;
+    double achieved = 1.0, comm_share = 0.0;
+    double best = 1.0;
+    for (int nodes = 2; nodes <= 1024; nodes *= 2) {
+      distributed::ClusterDescriptor c{machine::sg2042(), net, nodes};
+      const auto bd =
+          distributed::DistributedSimulator(c).run(sig, cfg);
+      const double su = t1 / bd.total_s;
+      best = std::max(best, su);
+      if (su >= target) {
+        needed = nodes;
+        achieved = su;
+        comm_share = (bd.comm_s + bd.sync_s) / bd.total_s;
+        break;
+      }
+    }
+    if (needed > 0) {
+      t.add_row({net.name, std::to_string(needed),
+                 report::Table::num(achieved, 1) + "x",
+                 report::Table::num(100.0 * comm_share, 0) + "%", "ok"});
+    } else {
+      t.add_row({net.name, "-", report::Table::num(best, 1) + "x max",
+                 "-", "unreachable: network-bound"});
+    }
+  }
+  std::cout << t.render();
+  std::cout << "\n(Strong scaling at fixed global problem size; 32 "
+               "threads/node, cluster placement.)\n";
+  return 0;
+}

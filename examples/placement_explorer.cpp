@@ -1,0 +1,103 @@
+// Placement explorer: sweep thread counts and placement policies on any
+// modelled machine and print the scaling table -- the Section 3.2
+// methodology of the paper as a reusable tool.
+//
+//   ./placement_explorer [machine] [precision]
+//     machine:   sg2042 (default) | rome | broadwell | icelake |
+//                sandybridge | visionfive2
+//     precision: fp32 (default) | fp64
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "kernels/register_all.hpp"
+#include "report/ratio.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+sgp::machine::MachineDescriptor pick_machine(const std::string& name) {
+  using namespace sgp::machine;
+  if (name == "sg2042") return sg2042();
+  if (name == "rome") return amd_rome();
+  if (name == "broadwell") return intel_broadwell();
+  if (name == "icelake") return intel_icelake();
+  if (name == "sandybridge") return intel_sandybridge();
+  if (name == "visionfive2") return visionfive_v2();
+  throw std::invalid_argument("unknown machine: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgp;
+
+  const std::string machine_name = argc > 1 ? argv[1] : "sg2042";
+  const std::string prec_name = argc > 2 ? argv[2] : "fp32";
+  const auto m = pick_machine(machine_name);
+  const auto prec = prec_name == "fp64" ? core::Precision::FP64
+                                        : core::Precision::FP32;
+
+  const sim::Simulator simulator(m);
+  const auto sigs = kernels::all_signatures();
+
+  std::cout << "Placement exploration on " << m.name << " ("
+            << core::to_string(prec) << ", " << m.num_cores
+            << " cores)\n\n";
+
+  for (const auto placement : machine::all_placements) {
+    std::cout << "-- placement: " << machine::to_string(placement)
+              << " --\n";
+    report::Table t({"threads", "speedup (suite avg)", "parallel eff",
+                     "best class", "worst class"});
+
+    // Serial baseline per kernel.
+    std::map<std::string, double> t1;
+    sim::SimConfig cfg;
+    cfg.precision = prec;
+    cfg.placement = placement;
+    for (const auto& sig : sigs) t1[sig.name] = simulator.seconds(sig, cfg);
+
+    for (int threads = 2; threads <= m.num_cores; threads *= 2) {
+      cfg.nthreads = threads;
+      std::map<core::Group, double> group_sum;
+      std::map<core::Group, int> group_n;
+      double sum = 0.0;
+      for (const auto& sig : sigs) {
+        const double su = t1[sig.name] / simulator.seconds(sig, cfg);
+        sum += su;
+        group_sum[sig.group] += su;
+        ++group_n[sig.group];
+      }
+      const double avg = sum / static_cast<double>(sigs.size());
+      core::Group best = core::Group::Basic, worst = core::Group::Basic;
+      double best_v = -1.0, worst_v = 1e30;
+      for (const auto g : core::all_groups) {
+        const double v = group_sum[g] / group_n[g];
+        if (v > best_v) {
+          best_v = v;
+          best = g;
+        }
+        if (v < worst_v) {
+          worst_v = v;
+          worst = g;
+        }
+      }
+      t.add_row({std::to_string(threads), report::Table::num(avg, 2),
+                 report::Table::num(
+                     report::parallel_efficiency(avg, threads), 2),
+                 std::string(core::to_string(best)) + " (" +
+                     report::Table::num(best_v, 1) + "x)",
+                 std::string(core::to_string(worst)) + " (" +
+                     report::Table::num(worst_v, 1) + "x)"});
+    }
+    std::cout << t.render() << "\n";
+  }
+
+  std::cout << "Reading the tables: on the SG2042, cluster-aware cyclic\n"
+               "placement wins up to 32 threads because it spreads work\n"
+               "over all four memory controllers and keeps one active\n"
+               "core per 1 MB L2 cluster (paper, Section 3.2).\n";
+  return 0;
+}

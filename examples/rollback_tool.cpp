@@ -1,0 +1,103 @@
+// rollback_tool: a CLI over the RVV IR, reproducing the workflow of the
+// paper's enabling tool (Lee et al., "Backporting RISC-V vector
+// assembly"): read RVV v1.0 assembly, rewrite it to v0.7.1, report what
+// changed.
+//
+//   ./rollback_tool <file.s>        rewrite a file (stdout)
+//   ./rollback_tool --demo [vla|vls] [32|64]
+//                                   generate a demo loop, then roll back
+//   ./rollback_tool --verify <file.s> <1.0|0.7.1>
+//                                   check dialect validity only
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "rvv/analysis.hpp"
+#include "rvv/codegen.hpp"
+#include "rvv/rollback.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+int run_rollback(const std::string& text) {
+  using namespace sgp::rvv;
+  const auto program = parse(text);
+  const auto v1_issues = verify(program, Dialect::V1_0);
+  if (!v1_issues.empty()) {
+    std::cerr << "warning: input is not clean RVV v1.0:\n";
+    for (const auto& i : v1_issues) {
+      std::cerr << "  line " << i.source_line << ": " << i.message << "\n";
+    }
+  }
+  try {
+    const auto result = rollback(program);
+    std::cout << print(result.program);
+    std::cerr << "# rewrote " << result.rewritten << " of "
+              << program.instruction_count() << " instructions\n";
+    for (const auto& note : result.notes) std::cerr << "#   " << note << "\n";
+    const auto issues = verify(result.program, Dialect::V0_7_1);
+    if (!issues.empty()) {
+      std::cerr << "# INTERNAL ERROR: output not valid v0.7.1\n";
+      return 2;
+    }
+    return 0;
+  } catch (const RollbackError& e) {
+    std::cerr << "rollback failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgp::rvv;
+  try {
+    if (argc >= 2 && std::string(argv[1]) == "--demo") {
+      const auto mode =
+          (argc >= 3 && std::string(argv[2]) == "vls") ? CodegenMode::VLS
+                                                       : CodegenMode::VLA;
+      LoopSpec spec;
+      spec.name = "daxpy";
+      spec.sew = (argc >= 4 && std::string(argv[3]) == "64") ? 64 : 32;
+      const auto v1 = emit_loop(spec, mode, Dialect::V1_0);
+      std::cerr << "# --- Clang-style RVV v1.0 ("
+                << to_string(mode) << ", e" << spec.sew << ") ---\n";
+      std::cerr << print(v1);
+      std::cerr << "# --- rolled back to RVV v0.7.1 (C920) ---\n";
+      return run_rollback(print(v1));
+    }
+    if (argc == 4 && std::string(argv[1]) == "--verify") {
+      const auto d = std::string(argv[3]) == "1.0" ? Dialect::V1_0
+                                                   : Dialect::V0_7_1;
+      const auto issues = verify(parse(read_file(argv[2])), d);
+      for (const auto& i : issues) {
+        std::cout << "line " << i.source_line << ": " << i.message << "\n";
+      }
+      std::cout << (issues.empty() ? "OK" : "INVALID") << " for "
+                << to_string(d) << "\n";
+      return issues.empty() ? 0 : 1;
+    }
+    if (argc == 3 && std::string(argv[1]) == "--stats") {
+      const auto mix = analyze(parse(read_file(argv[2])));
+      std::cout << render_mix(mix);
+      return 0;
+    }
+    if (argc == 2) {
+      return run_rollback(read_file(argv[1]));
+    }
+    std::cerr << "usage: rollback_tool <file.s> | --demo [vla|vls] [32|64]"
+                 " | --verify <file.s> <1.0|0.7.1> | --stats <file.s>\n";
+    return 64;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

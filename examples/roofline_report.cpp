@@ -1,0 +1,85 @@
+// Roofline report: where every kernel sits on a machine's single-core
+// roofline, and how the SG2042's roofline compares to the x86 parts --
+// a compact explanation of why the paper's FP32/FP64 gap exists.
+//
+//   ./roofline_report [machine] [fp32|fp64]
+#include <algorithm>
+#include <iostream>
+
+#include "kernels/register_all.hpp"
+#include "report/table.hpp"
+#include "sim/roofline.hpp"
+
+namespace {
+
+sgp::machine::MachineDescriptor pick_machine(const std::string& name) {
+  using namespace sgp::machine;
+  if (name == "sg2042") return sg2042();
+  if (name == "rome") return amd_rome();
+  if (name == "broadwell") return intel_broadwell();
+  if (name == "icelake") return intel_icelake();
+  if (name == "sandybridge") return intel_sandybridge();
+  if (name == "visionfive2") return visionfive_v2();
+  throw std::invalid_argument("unknown machine: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgp;
+
+  const auto m = pick_machine(argc > 1 ? argv[1] : "sg2042");
+  const auto prec = (argc > 2 && std::string(argv[2]) == "fp64")
+                        ? core::Precision::FP64
+                        : core::Precision::FP32;
+
+  const auto model = sim::roofline_for(m);
+  std::cout << "Single-core roofline of " << model.machine << "\n";
+  std::cout << "  scalar peak:      "
+            << report::Table::num(model.peak_scalar_gflops, 1)
+            << " GFLOP/s\n";
+  std::cout << "  vector peak FP32: "
+            << report::Table::num(model.peak_vector_gflops_fp32, 1)
+            << " GFLOP/s\n";
+  std::cout << "  vector peak FP64: "
+            << report::Table::num(model.peak_vector_gflops_fp64, 1)
+            << " GFLOP/s"
+            << (m.core.vector && !m.core.vector->fp64
+                    ? "  (== scalar: no FP64 vector unit)"
+                    : "")
+            << "\n";
+  std::cout << "  stream bandwidth: "
+            << report::Table::num(model.stream_bw_gbs, 1) << " GB/s\n";
+  std::cout << "  FP32 ridge point: "
+            << report::Table::num(model.ridge_intensity_fp32, 2)
+            << " FLOP/byte\n\n";
+
+  sim::SimConfig cfg;
+  cfg.precision = prec;
+  auto points =
+      sim::roofline_points(m, cfg, kernels::all_signatures());
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) {
+              return a.intensity < b.intensity;
+            });
+
+  std::cout << "Kernels at " << core::to_string(prec)
+            << ", sorted by arithmetic intensity:\n";
+  report::Table t({"kernel", "class", "FLOP/byte", "attainable GF/s",
+                   "bound"});
+  for (const auto& p : points) {
+    t.add_row({p.kernel, std::string(core::to_string(p.group)),
+               p.intensity > 1e5 ? std::string("resident")
+                                 : report::Table::num(p.intensity, 2),
+               report::Table::num(p.attainable_gflops, 2),
+               p.memory_bound ? "memory" : "compute"});
+  }
+  std::cout << t.render();
+
+  int memory_bound = 0;
+  for (const auto& p : points) memory_bound += p.memory_bound ? 1 : 0;
+  std::cout << "\n" << memory_bound << " of " << points.size()
+            << " kernels are memory-bound on this machine at "
+            << core::to_string(prec) << ".\n";
+  return 0;
+}

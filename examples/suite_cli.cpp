@@ -1,0 +1,155 @@
+// suite_cli: a RAJAPerf-style command-line driver for the native suite.
+// Runs kernels for real on this machine and prints per-kernel timings,
+// checksums and per-class summaries.
+//
+//   ./suite_cli [options]
+//     --group <name>       run one class (Algorithm, Apps, Basic, Lcals,
+//                          Polybench, Stream); default: all
+//     --kernel <name>      run one kernel (repeatable via comma list)
+//     --precision <p>      fp32 | fp64 | both (default both)
+//     --threads <n>        worker threads (default 1)
+//     --size-factor <f>    problem size multiplier (default 0.05)
+//     --rep-factor <f>     rep count multiplier (default 0.05)
+//     --csv <path>         also write a CSV
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kernels/register_all.hpp"
+#include "native/suite_runner.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace sgp;
+
+struct Options {
+  std::optional<core::Group> group;
+  std::vector<std::string> kernels;
+  std::vector<core::Precision> precisions{core::Precision::FP32,
+                                          core::Precision::FP64};
+  core::RunParams rp;
+  std::optional<std::string> csv_path;
+};
+
+std::optional<core::Group> parse_group(const std::string& s) {
+  for (const auto g : core::all_groups) {
+    if (s == core::to_string(g)) return g;
+  }
+  return std::nullopt;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  opt.rp.size_factor = 0.05;
+  opt.rp.rep_factor = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--group") {
+      const auto v = next();
+      opt.group = parse_group(v);
+      if (!opt.group) throw std::invalid_argument("unknown group " + v);
+    } else if (arg == "--kernel") {
+      std::stringstream ss(next());
+      std::string item;
+      while (std::getline(ss, item, ',')) opt.kernels.push_back(item);
+    } else if (arg == "--precision") {
+      const auto v = next();
+      if (v == "fp32") {
+        opt.precisions = {core::Precision::FP32};
+      } else if (v == "fp64") {
+        opt.precisions = {core::Precision::FP64};
+      } else if (v != "both") {
+        throw std::invalid_argument("unknown precision " + v);
+      }
+    } else if (arg == "--threads") {
+      opt.rp.num_threads = std::stoi(next());
+    } else if (arg == "--size-factor") {
+      opt.rp.size_factor = std::stod(next());
+    } else if (arg == "--rep-factor") {
+      opt.rp.rep_factor = std::stod(next());
+    } else if (arg == "--csv") {
+      opt.csv_path = next();
+    } else {
+      throw std::invalid_argument("unknown option " + arg);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 64;
+  }
+
+  const auto registry = kernels::make_registry();
+  std::vector<std::string> names;
+  if (!opt.kernels.empty()) {
+    names = opt.kernels;
+  } else if (opt.group) {
+    names = registry.names(*opt.group);
+  } else {
+    names = registry.names();
+  }
+
+  native::SuiteRunner runner(registry, opt.rp);
+  report::Table t(
+      {"kernel", "class", "precision", "reps", "ms/rep", "checksum"});
+  report::CsvWriter csv({"kernel", "class", "precision", "threads", "reps",
+                         "seconds", "checksum"});
+  std::map<core::Group, std::pair<double, int>> class_time;
+
+  for (const auto& name : names) {
+    for (const auto prec : opt.precisions) {
+      native::KernelRunRecord rec;
+      try {
+        rec = runner.run_one(name, prec);
+      } catch (const std::out_of_range&) {
+        std::cerr << "unknown kernel '" << name << "'\n";
+        return 1;
+      }
+      t.add_row({rec.name, std::string(core::to_string(rec.group)),
+                 std::string(core::to_string(prec)),
+                 std::to_string(rec.reps),
+                 report::Table::num(rec.seconds_per_rep() * 1e3, 3),
+                 report::Table::num(static_cast<double>(rec.checksum), 4)});
+      csv.add_row({rec.name, std::string(core::to_string(rec.group)),
+                   std::string(core::to_string(prec)),
+                   std::to_string(rec.threads), std::to_string(rec.reps),
+                   report::Table::num(rec.seconds, 6),
+                   report::Table::num(static_cast<double>(rec.checksum),
+                                      6)});
+      auto& [sum, n] = class_time[rec.group];
+      sum += rec.seconds;
+      ++n;
+    }
+  }
+  std::cout << t.render() << "\n";
+
+  report::Table summary({"class", "kernels x precisions", "total s"});
+  for (const auto& [g, v] : class_time) {
+    summary.add_row({std::string(core::to_string(g)),
+                     std::to_string(v.second),
+                     report::Table::num(v.first, 3)});
+  }
+  std::cout << summary.render();
+
+  if (opt.csv_path) csv.write(*opt.csv_path);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Vectorisation advisor: per kernel, report which compiler can
+// auto-vectorise it, the predicted benefit of VLS/VLA code on the
+// SG2042, and a recommendation -- the kernel-by-kernel methodology the
+// paper recommends in Section 3.2.
+//
+//   ./vectorisation_advisor [kernel-name]
+#include <iostream>
+#include <string>
+
+#include "compiler/model.hpp"
+#include "kernels/register_all.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+struct Advice {
+  double gcc_speedup = 1.0;        // vector-on vs scalar, GCC VLS
+  double clang_vls_speedup = 1.0;  // vs GCC baseline
+  double clang_vla_speedup = 1.0;
+  std::string recommendation;
+};
+
+Advice advise(const sgp::core::KernelSignature& sig,
+              const sgp::sim::Simulator& sim) {
+  using namespace sgp;
+  sim::SimConfig scalar, gcc, clang_vls, clang_vla;
+  scalar.precision = gcc.precision = clang_vls.precision =
+      clang_vla.precision = core::Precision::FP32;
+  scalar.vector_mode = core::VectorMode::Scalar;
+  gcc.compiler = core::CompilerId::Gcc;
+  clang_vls.compiler = clang_vla.compiler = core::CompilerId::Clang;
+  clang_vla.vector_mode = core::VectorMode::VLA;
+
+  Advice a;
+  const double t_scalar = sim.seconds(sig, scalar);
+  const double t_gcc = sim.seconds(sig, gcc);
+  a.gcc_speedup = t_scalar / t_gcc;
+  a.clang_vls_speedup = t_gcc / sim.seconds(sig, clang_vls);
+  a.clang_vla_speedup = t_gcc / sim.seconds(sig, clang_vla);
+
+  if (!sig.gcc.vectorizes && !sig.clang.vectorizes) {
+    a.recommendation = "scalar only (neither compiler vectorises this)";
+  } else if (a.clang_vls_speedup > 1.05) {
+    a.recommendation =
+        "Clang VLS via rvv-rollback (" +
+        report::Table::num(a.clang_vls_speedup, 2) + "x over GCC)";
+  } else if (a.clang_vls_speedup < 0.95) {
+    a.recommendation = "XuanTie GCC (Clang path is slower here)";
+  } else {
+    a.recommendation = "either toolchain; GCC avoids the rollback step";
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgp;
+
+  const sim::Simulator sim(machine::sg2042());
+  const std::string filter = argc > 1 ? argv[1] : "";
+
+  std::cout
+      << "Vectorisation advisor for the SG2042 (C920, RVV v0.7.1, FP32)\n"
+      << "GCC path = XuanTie GCC 8.4 VLS; Clang paths require the RVV\n"
+      << "v1.0 -> v0.7.1 rollback tool.\n\n";
+
+  report::Table t({"kernel", "GCC vec?", "Clang vec?", "vec/scalar",
+                   "ClangVLS/GCC", "ClangVLA/GCC", "recommendation"});
+  int shown = 0;
+  for (const auto& sig : kernels::all_signatures()) {
+    if (!filter.empty() && sig.name != filter) continue;
+    const auto a = advise(sig, sim);
+    auto facts = [](const core::VectorizationFacts& f) -> std::string {
+      if (!f.vectorizes) return "no";
+      return f.runtime_vector_path ? "yes" : "yes (scalar at runtime)";
+    };
+    t.add_row({sig.name, facts(sig.gcc), facts(sig.clang),
+               report::Table::num(a.gcc_speedup, 2),
+               report::Table::num(a.clang_vls_speedup, 2),
+               report::Table::num(a.clang_vla_speedup, 2),
+               a.recommendation});
+    ++shown;
+  }
+  if (shown == 0) {
+    std::cerr << "unknown kernel '" << filter << "'\n";
+    return 1;
+  }
+  std::cout << t.render();
+  return 0;
+}

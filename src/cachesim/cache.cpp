@@ -1,0 +1,140 @@
+#include "cachesim/cache.hpp"
+
+#include <stdexcept>
+
+namespace sgp::cachesim {
+
+namespace {
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+void CacheConfig::validate() const {
+  if (!is_pow2(line_bytes) || line_bytes < 8) {
+    throw std::invalid_argument(name + ": line size must be a power of two >= 8");
+  }
+  if (ways == 0 || size_bytes == 0) {
+    throw std::invalid_argument(name + ": zero size or ways");
+  }
+  if (size_bytes % (line_bytes * ways) != 0) {
+    throw std::invalid_argument(name +
+                                ": size not divisible by line*ways");
+  }
+  if (!is_pow2(num_sets())) {
+    throw std::invalid_argument(name + ": set count must be a power of two");
+  }
+}
+
+Cache::Cache(CacheConfig config) : config_(std::move(config)) {
+  config_.validate();
+  lines_.resize(config_.num_sets() * config_.ways);
+}
+
+std::size_t Cache::set_index(Addr addr) const {
+  return static_cast<std::size_t>(addr / config_.line_bytes) &
+         (config_.num_sets() - 1);
+}
+
+Addr Cache::tag_of(Addr addr) const {
+  return addr / config_.line_bytes / config_.num_sets();
+}
+
+bool Cache::access(Addr addr, bool is_write) {
+  ++clock_;
+  const std::size_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set * config_.ways];
+
+  // Hit?
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      if (config_.policy == ReplacementPolicy::LRU) line.stamp = clock_;
+      line.dirty = line.dirty || is_write;
+      if (is_write) {
+        ++stats_.write_hits;
+      } else {
+        ++stats_.read_hits;
+      }
+      return true;
+    }
+  }
+
+  if (is_write) {
+    ++stats_.write_misses;
+  } else {
+    ++stats_.read_misses;
+  }
+
+  if (is_write && !config_.write_allocate) {
+    return false;  // write-around: no fill
+  }
+
+  // Choose a victim: an invalid way, else the oldest stamp.
+  Line* victim = &base[0];
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.stamp < victim->stamp) victim = &line;
+  }
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->stamp = clock_;
+  return false;
+}
+
+bool Cache::probe(Addr addr) const {
+  const std::size_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  const Line* base = &lines_[set * config_.ways];
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) line = Line{};
+}
+
+std::size_t Cache::resident_lines() const {
+  std::size_t n = 0;
+  for (const auto& line : lines_) {
+    if (line.valid) ++n;
+  }
+  return n;
+}
+
+Hierarchy::Hierarchy(std::vector<CacheConfig> levels) {
+  if (levels.empty()) {
+    throw std::invalid_argument("Hierarchy: needs at least one level");
+  }
+  caches_.reserve(levels.size());
+  for (auto& cfg : levels) caches_.emplace_back(std::move(cfg));
+}
+
+std::size_t Hierarchy::access(Addr addr, bool is_write) {
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    if (caches_[i].access(addr, is_write)) return i;
+  }
+  return caches_.size();
+}
+
+std::uint64_t Hierarchy::dram_bytes() const {
+  const auto& last = caches_.back();
+  return (last.stats().misses() + last.stats().writebacks) *
+         last.config().line_bytes;
+}
+
+void Hierarchy::flush() {
+  for (auto& c : caches_) c.flush();
+}
+
+}  // namespace sgp::cachesim

@@ -1,0 +1,113 @@
+// Trace-driven set-associative cache simulator. This is the detailed
+// counterpart of the analytical sim::CacheModel: it executes address
+// traces against a real set/way/LRU structure, and the validation tests
+// check that the analytical model's serving-level decisions agree with
+// simulated miss rates on synthetic kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgp::cachesim {
+
+using Addr = std::uint64_t;
+
+enum class ReplacementPolicy { LRU, FIFO };
+
+struct CacheConfig {
+  std::string name = "L1";
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t ways = 8;
+  ReplacementPolicy policy = ReplacementPolicy::LRU;
+  bool write_allocate = true;
+
+  std::size_t num_sets() const { return size_bytes / (line_bytes * ways); }
+
+  /// Throws std::invalid_argument on non-power-of-two geometry or
+  /// inconsistent sizes.
+  void validate() const;
+};
+
+struct CacheStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  std::uint64_t accesses() const {
+    return read_hits + read_misses + write_hits + write_misses;
+  }
+  std::uint64_t misses() const { return read_misses + write_misses; }
+  double miss_rate() const {
+    const auto a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(misses()) / a;
+  }
+};
+
+/// One level of cache. Accesses report hit/miss; misses are meant to be
+/// forwarded to the next level by the caller (see Hierarchy).
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  const CacheConfig& config() const noexcept { return config_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+  /// True on hit. On miss the line is installed (allocate-on-miss; for
+  /// writes only when write_allocate).
+  bool access(Addr addr, bool is_write);
+
+  /// Is the line currently resident (no state change)?
+  bool probe(Addr addr) const;
+
+  /// Invalidate everything (keeps statistics).
+  void flush();
+
+  /// Lines currently resident.
+  std::size_t resident_lines() const;
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t stamp = 0;  // LRU: last-use time; FIFO: fill time
+  };
+
+  std::size_t set_index(Addr addr) const;
+  Addr tag_of(Addr addr) const;
+
+  CacheConfig config_;
+  CacheStats stats_;
+  std::vector<Line> lines_;  // sets x ways, row-major
+  std::uint64_t clock_ = 0;
+};
+
+/// An inclusive-enough multi-level hierarchy: an access walks down the
+/// levels until it hits; lower levels are only consulted (and filled) on
+/// a miss above. Reports per-level stats and the DRAM traffic in bytes.
+class Hierarchy {
+ public:
+  explicit Hierarchy(std::vector<CacheConfig> levels);
+
+  /// Performs one access; returns the deepest level index that HIT, or
+  /// levels() if it went to memory.
+  std::size_t access(Addr addr, bool is_write);
+
+  std::size_t levels() const noexcept { return caches_.size(); }
+  const Cache& level(std::size_t i) const { return caches_.at(i); }
+
+  /// Bytes fetched from memory (miss traffic of the last level).
+  std::uint64_t dram_bytes() const;
+
+  void flush();
+
+ private:
+  std::vector<Cache> caches_;
+};
+
+}  // namespace sgp::cachesim

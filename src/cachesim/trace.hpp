@@ -1,0 +1,59 @@
+// Synthetic address-trace generators mirroring the AccessPattern
+// taxonomy of the analytical model, and helpers to build a cache
+// hierarchy from a machine descriptor and replay kernel-like sweeps on
+// it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "core/types.hpp"
+#include "machine/descriptor.hpp"
+
+namespace sgp::cachesim {
+
+struct AccessRecord {
+  Addr addr = 0;
+  bool is_write = false;
+};
+
+using Trace = std::vector<AccessRecord>;
+
+/// Trace of one full sweep over `arrays` arrays of `elems` elements of
+/// `elem_bytes` each, in the given pattern. Arrays are laid out
+/// contiguously starting at `base`, separated by a guard page.
+struct SweepSpec {
+  core::AccessPattern pattern = core::AccessPattern::Streaming;
+  std::size_t arrays = 2;        ///< first arrays-1 are read, last is written
+  std::size_t elems = 1 << 16;
+  std::size_t elem_bytes = 8;
+  std::size_t stride_elems = 8;  ///< Strided pattern only
+  unsigned seed = 7;             ///< Gather pattern only
+  Addr base = 1 << 20;
+};
+
+Trace generate_sweep(const SweepSpec& spec);
+
+/// Cache hierarchy mirroring a machine descriptor's per-core view
+/// (private L1, the core's share of L2, the core's share of L3 when
+/// core-side). `l2_sharers`/`l3_sharers` model how many active cores
+/// divide the shared levels.
+Hierarchy hierarchy_for(const machine::MachineDescriptor& m,
+                        int l2_sharers = 1, int l3_sharers = 1);
+
+/// Replays the trace `reps` times (flushing nothing in between, like a
+/// RAJAPerf kernel re-running over resident data) and returns the
+/// hierarchy for inspection.
+struct ReplayResult {
+  Hierarchy hierarchy;
+  std::uint64_t accesses = 0;
+  /// Miss rate of the *last* rep at each level (steady state).
+  std::vector<double> steady_miss_rate;
+};
+
+ReplayResult replay(const machine::MachineDescriptor& m,
+                    const SweepSpec& spec, int reps, int l2_sharers = 1,
+                    int l3_sharers = 1);
+
+}  // namespace sgp::cachesim

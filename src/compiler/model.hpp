@@ -1,0 +1,65 @@
+// Compiler model: decides, for (kernel, compiler, vector mode, precision,
+// machine), whether the executed code path is vector or scalar and what
+// it costs per strip. Encodes the paper's central toolchain facts:
+//  * XuanTie GCC 8.4 emits VLS RVV v0.7.1 only; it auto-vectorises 30 of
+//    the 64 RAJAPerf kernels, and 7 of those take the scalar path at
+//    runtime.
+//  * Clang emits RVV v1.0 (VLA or VLS), which must be rolled back to
+//    v0.7.1 for the C920 (see rvv/rollback.hpp); it vectorises 59
+//    kernels, 3 of which take the scalar path at runtime.
+//  * The C920 vector unit does not support FP64 arithmetic, so "FP64 with
+//    vectorisation on" executes at scalar speed (with small overhead).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "core/types.hpp"
+#include "machine/descriptor.hpp"
+
+namespace sgp::compiler {
+
+/// How well a vector unit sustains its ideal lane speedup on a pattern.
+double pattern_vector_efficiency(core::AccessPattern p) noexcept;
+
+/// The executed code path and its per-strip costs.
+struct CodegenPlan {
+  bool vector_path = false;  ///< vector instructions are executed
+  double lanes = 1.0;        ///< elements retired per vector op
+  /// Sustained fraction of the ideal `lanes` speedup (compiler quality x
+  /// pattern suitability).
+  double efficiency = 1.0;
+  /// Scalar bookkeeping instructions per strip (vsetvli, pointer bumps).
+  double overhead_instrs_per_strip = 0.0;
+  /// Slowdown applied when vectorisation was requested but the executed
+  /// path is scalar (code bloat, runtime dispatch); 1.0 = none.
+  double scalar_penalty = 1.0;
+  /// Fraction of streaming bandwidth the emitted code sustains. VLA
+  /// strip-mining re-issues vsetvli between loads, which costs some
+  /// stream locality; kernel-specific compiler pathologies also land
+  /// here (VectorizationFacts::memory_efficiency).
+  double memory_efficiency = 1.0;
+  /// Clang output must pass through the RVV v1.0 -> v0.7.1 rollback to
+  /// run on this machine.
+  bool needs_rollback = false;
+  std::string note;
+};
+
+/// Builds the plan. Throws std::invalid_argument for impossible requests
+/// (VLA with GCC — GCC only generates VLS RVV assembly).
+CodegenPlan plan(const core::KernelSignature& sig, core::Precision prec,
+                 core::CompilerId comp, core::VectorMode mode,
+                 const machine::MachineDescriptor& m);
+
+/// Aggregate capability counts over a set of kernels (to check the
+/// paper's 30/7 and 59/3 figures).
+struct CapabilityCount {
+  int vectorized = 0;         ///< compiler emits a vector path
+  int scalar_at_runtime = 0;  ///< of those, runtime picks scalar
+};
+
+CapabilityCount count_capabilities(
+    const std::vector<core::KernelSignature>& sigs, core::CompilerId comp);
+
+}  // namespace sgp::compiler

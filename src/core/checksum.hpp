@@ -1,0 +1,31 @@
+// RAJAPerf-style checksums used to validate native kernel execution.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sgp::core {
+
+/// Position-weighted checksum, as RAJAPerf computes it: each element is
+/// weighted by its (1-based) index so permutations are detected, and the
+/// sum is normalised by the length so checksums stay O(values).
+template <class Real>
+long double checksum(std::span<const Real> data) {
+  long double sum = 0.0L;
+  const long double n = static_cast<long double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    sum += static_cast<long double>(data[i]) *
+           (static_cast<long double>(i + 1) / n);
+  }
+  return sum;
+}
+
+/// Unweighted sum; used for reduction outputs where order is irrelevant.
+template <class Real>
+long double plain_sum(std::span<const Real> data) {
+  long double sum = 0.0L;
+  for (const Real v : data) sum += static_cast<long double>(v);
+  return sum;
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,38 @@
+// Abstract execution policy used by kernels for their parallel loops.
+// The serial executor lives here; the pooled implementation is in
+// threading/ (so core has no dependency on the thread pool).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sgp::core {
+
+/// Runs chunked loops over [0, n). Implementations must invoke the chunk
+/// functor with disjoint [begin, end) ranges that exactly cover [0, n),
+/// passing a chunk index in [0, max_chunks()) so kernels can accumulate
+/// per-chunk reduction partials without synchronisation.
+class Executor {
+ public:
+  using ChunkFn =
+      std::function<void(std::size_t begin, std::size_t end, int chunk)>;
+
+  virtual ~Executor() = default;
+
+  /// Upper bound on distinct chunk indices passed to parallel_for.
+  virtual int max_chunks() const = 0;
+
+  /// Execute `fn` over [0, n). Must not return before all chunks finish.
+  virtual void parallel_for(std::size_t n, const ChunkFn& fn) = 0;
+};
+
+/// Trivial executor: one chunk, calling thread.
+class SerialExecutor final : public Executor {
+ public:
+  int max_chunks() const override { return 1; }
+  void parallel_for(std::size_t n, const ChunkFn& fn) override {
+    fn(0, n, 0);
+  }
+};
+
+}  // namespace sgp::core

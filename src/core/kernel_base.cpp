@@ -1,0 +1,26 @@
+#include "core/kernel_base.hpp"
+
+#include <chrono>
+
+namespace sgp::core {
+
+KernelBase::NativeResult KernelBase::run_native(Precision p,
+                                                const RunParams& rp,
+                                                Executor& exec) {
+  set_up(p, rp);
+  const std::size_t reps =
+      rp.scaled_reps(static_cast<std::size_t>(sig_.reps));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    run_rep(p, exec);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  NativeResult res;
+  res.reps = reps;
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.checksum = compute_checksum(p);
+  tear_down();
+  return res;
+}
+
+}  // namespace sgp::core

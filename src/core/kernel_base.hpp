@@ -1,0 +1,54 @@
+// Base class every benchmark kernel derives from.
+#pragma once
+
+#include <string>
+
+#include "core/executor.hpp"
+#include "core/run_params.hpp"
+#include "core/signature.hpp"
+#include "core/types.hpp"
+
+namespace sgp::core {
+
+/// One RAJAPerf-style kernel. Construction must be cheap (signature only);
+/// data is allocated in set_up and released in tear_down. A kernel must
+/// support being set up and torn down repeatedly, and run_rep must be
+/// idempotent enough that checksums after R reps are deterministic for a
+/// fixed (precision, RunParams, executor-chunk-count) triple.
+class KernelBase {
+ public:
+  explicit KernelBase(KernelSignature sig) : sig_(std::move(sig)) {}
+  virtual ~KernelBase() = default;
+
+  KernelBase(const KernelBase&) = delete;
+  KernelBase& operator=(const KernelBase&) = delete;
+
+  const KernelSignature& signature() const noexcept { return sig_; }
+  const std::string& name() const noexcept { return sig_.name; }
+  Group group() const noexcept { return sig_.group; }
+
+  /// Allocate and initialise data for the given precision.
+  virtual void set_up(Precision p, const RunParams& rp) = 0;
+  /// Execute one repetition of the kernel.
+  virtual void run_rep(Precision p, Executor& exec) = 0;
+  /// Checksum of the kernel's outputs (valid after >= 1 rep).
+  virtual long double compute_checksum(Precision p) const = 0;
+  /// Release all data.
+  virtual void tear_down() = 0;
+
+  /// Result of a complete timed native run.
+  struct NativeResult {
+    long double checksum = 0.0L;
+    double seconds = 0.0;      ///< total wall time over all reps
+    std::size_t reps = 0;      ///< reps actually executed
+  };
+
+  /// Convenience driver: set_up, run `reps` times under `exec`, checksum,
+  /// tear_down. Wall time covers only the run_rep calls.
+  NativeResult run_native(Precision p, const RunParams& rp, Executor& exec);
+
+ protected:
+  KernelSignature sig_;
+};
+
+}  // namespace sgp::core

@@ -1,0 +1,67 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+namespace sgp::core {
+
+const Registry::Entry* Registry::find(std::string_view name) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void Registry::add(std::string name, Group group, KernelFactory factory) {
+  if (!factory) {
+    throw std::invalid_argument("Registry::add: null factory for " + name);
+  }
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("Registry::add: duplicate kernel " + name);
+  }
+  // Validate that the factory produces what it claims.
+  auto probe = factory();
+  if (!probe || probe->name() != name || probe->group() != group) {
+    throw std::invalid_argument(
+        "Registry::add: factory/kernel mismatch for " + name);
+  }
+  entries_.push_back(Entry{std::move(name), group, std::move(factory)});
+}
+
+std::unique_ptr<KernelBase> Registry::create(std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw std::out_of_range("Registry::create: unknown kernel " +
+                            std::string(name));
+  }
+  return e->factory();
+}
+
+bool Registry::contains(std::string_view name) const noexcept {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::vector<std::string> Registry::names(Group group) const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (e.group == group) out.push_back(e.name);
+  }
+  return out;
+}
+
+Group Registry::group_of(std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw std::out_of_range("Registry::group_of: unknown kernel " +
+                            std::string(name));
+  }
+  return e->group;
+}
+
+}  // namespace sgp::core

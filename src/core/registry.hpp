@@ -1,0 +1,48 @@
+// Name-keyed registry of kernel factories. Kernels are registered
+// explicitly (see kernels/register_all.cpp) rather than via static
+// initialisers, so static-library dead stripping can never lose one.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/kernel_base.hpp"
+#include "core/types.hpp"
+
+namespace sgp::core {
+
+using KernelFactory = std::function<std::unique_ptr<KernelBase>()>;
+
+class Registry {
+ public:
+  /// Registers a factory. Throws std::invalid_argument on duplicate names
+  /// or a factory whose kernel reports a different name/group.
+  void add(std::string name, Group group, KernelFactory factory);
+
+  /// Creates a kernel by name; throws std::out_of_range if unknown.
+  std::unique_ptr<KernelBase> create(std::string_view name) const;
+
+  bool contains(std::string_view name) const noexcept;
+
+  /// All kernel names in registration order (the suite's canonical order).
+  std::vector<std::string> names() const;
+  /// Kernel names belonging to one group, in registration order.
+  std::vector<std::string> names(Group group) const;
+  Group group_of(std::string_view name) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Group group;
+    KernelFactory factory;
+  };
+  const Entry* find(std::string_view name) const noexcept;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sgp::core

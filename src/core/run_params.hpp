@@ -1,0 +1,35 @@
+// Parameters controlling a native suite run.
+#pragma once
+
+#include <cstddef>
+
+namespace sgp::core {
+
+/// Controls for running kernels natively (really executing the loops).
+/// Mirrors the knobs RAJAPerf exposes (--sizefact, --repfact).
+struct RunParams {
+  /// Multiplies each kernel's default problem size. Values below ~0.01 are
+  /// clamped by kernels so loops never degenerate to zero trip count.
+  double size_factor = 1.0;
+  /// Multiplies each kernel's default rep count.
+  double rep_factor = 1.0;
+  /// Number of native worker threads (1 = serial execution).
+  int num_threads = 1;
+  /// Fixed seed so SORT/INDEXLIST style kernels are reproducible.
+  unsigned seed = 4242u;
+
+  /// Scaled problem size helper, never less than `min`.
+  std::size_t scaled(std::size_t base, std::size_t min = 8) const {
+    const auto s = static_cast<std::size_t>(static_cast<double>(base) *
+                                            size_factor);
+    return s < min ? min : s;
+  }
+  /// Scaled rep count helper, never less than 1.
+  std::size_t scaled_reps(std::size_t base) const {
+    const auto r =
+        static_cast<std::size_t>(static_cast<double>(base) * rep_factor);
+    return r < 1 ? 1 : r;
+  }
+};
+
+}  // namespace sgp::core

@@ -1,0 +1,108 @@
+// Core enumerations shared across the whole suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sgp::core {
+
+/// RAJAPerf benchmark classes ("groups" in RAJAPerf terminology).
+enum class Group : std::uint8_t {
+  Algorithm,
+  Apps,
+  Basic,
+  Lcals,
+  Polybench,
+  Stream,
+};
+
+inline constexpr std::array<Group, 6> all_groups{
+    Group::Algorithm, Group::Apps,      Group::Basic,
+    Group::Lcals,     Group::Polybench, Group::Stream,
+};
+
+constexpr std::string_view to_string(Group g) noexcept {
+  switch (g) {
+    case Group::Algorithm: return "Algorithm";
+    case Group::Apps:      return "Apps";
+    case Group::Basic:     return "Basic";
+    case Group::Lcals:     return "Lcals";
+    case Group::Polybench: return "Polybench";
+    case Group::Stream:    return "Stream";
+  }
+  return "?";
+}
+
+/// Floating point precision a kernel is compiled/run at.
+enum class Precision : std::uint8_t { FP32, FP64 };
+
+inline constexpr std::array<Precision, 2> all_precisions{Precision::FP32,
+                                                         Precision::FP64};
+
+constexpr std::string_view to_string(Precision p) noexcept {
+  return p == Precision::FP32 ? "FP32" : "FP64";
+}
+
+constexpr std::size_t bytes_of(Precision p) noexcept {
+  return p == Precision::FP32 ? 4u : 8u;
+}
+
+/// How the loop body is code-generated.
+enum class VectorMode : std::uint8_t {
+  Scalar,  ///< no vectorization (or -fno-tree-vectorize)
+  VLS,     ///< vector-length-specific RVV / fixed-width SIMD
+  VLA,     ///< vector-length-agnostic RVV (Clang only)
+};
+
+constexpr std::string_view to_string(VectorMode m) noexcept {
+  switch (m) {
+    case VectorMode::Scalar: return "scalar";
+    case VectorMode::VLS:    return "VLS";
+    case VectorMode::VLA:    return "VLA";
+  }
+  return "?";
+}
+
+/// Compiler used for the (modelled) build.
+enum class CompilerId : std::uint8_t {
+  Gcc,    ///< XuanTie GCC 8.4 on RISC-V; GCC 8.3/11.2 on x86
+  Clang,  ///< Clang with RVV v1.0 output, rolled back to v0.7.1
+};
+
+constexpr std::string_view to_string(CompilerId c) noexcept {
+  return c == CompilerId::Gcc ? "GCC" : "Clang";
+}
+
+/// Dominant memory access pattern of a kernel's inner loop. Drives the
+/// bandwidth-efficiency and vector-efficiency deratings in the model.
+enum class AccessPattern : std::uint8_t {
+  Streaming,      ///< unit-stride read/write sweeps (STREAM-like)
+  Strided,        ///< constant non-unit stride
+  Stencil1D,      ///< neighbour reuse in one dimension
+  Stencil2D,      ///< row reuse across a 2D grid
+  Stencil3D,      ///< plane reuse across a 3D grid
+  Gather,         ///< indexed/indirect loads
+  Reduction,      ///< loop-carried reduction into a scalar
+  Sequential,     ///< loop-carried data dependence (recurrence)
+  BlockedMatrix,  ///< tiled/blocked matrix traversal (GEMM-like)
+  Sort,           ///< comparison sort (branchy, log-depth passes)
+};
+
+constexpr std::string_view to_string(AccessPattern p) noexcept {
+  switch (p) {
+    case AccessPattern::Streaming:     return "streaming";
+    case AccessPattern::Strided:       return "strided";
+    case AccessPattern::Stencil1D:     return "stencil1d";
+    case AccessPattern::Stencil2D:     return "stencil2d";
+    case AccessPattern::Stencil3D:     return "stencil3d";
+    case AccessPattern::Gather:        return "gather";
+    case AccessPattern::Reduction:     return "reduction";
+    case AccessPattern::Sequential:    return "sequential";
+    case AccessPattern::BlockedMatrix: return "blocked-matrix";
+    case AccessPattern::Sort:          return "sort";
+  }
+  return "?";
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,100 @@
+#include "distributed/dist_simulator.hpp"
+
+#include <cmath>
+
+namespace sgp::distributed {
+
+using core::AccessPattern;
+
+CommPattern comm_pattern_for(const core::KernelSignature& sig) noexcept {
+  switch (sig.pattern) {
+    case AccessPattern::Reduction:
+      return CommPattern::AllReduce;
+    case AccessPattern::Stencil1D:
+      return CommPattern::Halo1D;
+    case AccessPattern::Stencil2D:
+      return CommPattern::Halo2D;
+    case AccessPattern::Stencil3D:
+      return CommPattern::Halo3D;
+    case AccessPattern::BlockedMatrix:
+      return CommPattern::Transpose;
+    case AccessPattern::Sequential:
+      // Scans/recurrences exchange chunk carries: one tiny message pair.
+      return CommPattern::Halo1D;
+    case AccessPattern::Streaming:
+    case AccessPattern::Strided:
+    case AccessPattern::Gather:
+    case AccessPattern::Sort:
+      return CommPattern::None;
+  }
+  return CommPattern::None;
+}
+
+DistributedSimulator::DistributedSimulator(ClusterDescriptor cluster)
+    : cluster_(std::move(cluster)), node_sim_(cluster_.node) {
+  cluster_.validate();
+}
+
+DistributedBreakdown DistributedSimulator::run(
+    const core::KernelSignature& sig, const sim::SimConfig& node_cfg) const {
+  const int nodes = cluster_.num_nodes;
+
+  // Per-node share of the global problem: scale the iteration count and
+  // working set. The signature is copied, not mutated.
+  core::KernelSignature share = sig;
+  share.iters_per_rep = sig.iters_per_rep / nodes;
+  share.working_set_elems = sig.working_set_elems / nodes;
+
+  DistributedBreakdown out;
+  out.comm = comm_pattern_for(sig);
+
+  const auto node_bd = node_sim_.run(share, node_cfg);
+  out.compute_s = node_bd.total_s;
+
+  // Per-rep communication volume.
+  const double elem_bytes =
+      sig.integer_dominated ? 8.0
+                            : static_cast<double>(bytes_of(node_cfg.precision));
+  const double node_elems = share.working_set_elems;
+  double comm_per_rep = 0.0;
+  if (nodes > 1) {
+    const auto& net = cluster_.network;
+    switch (out.comm) {
+      case CommPattern::None:
+        break;
+      case CommPattern::AllReduce:
+        comm_per_rep = allreduce_seconds(net, 8.0 * 4, nodes);  // 4 doubles
+        break;
+      case CommPattern::Halo1D:
+        comm_per_rep = halo_exchange_seconds(net, elem_bytes * 2.0, 2);
+        break;
+      case CommPattern::Halo2D: {
+        const double face = std::sqrt(std::max(1.0, node_elems));
+        comm_per_rep = halo_exchange_seconds(net, face * elem_bytes, 2);
+        break;
+      }
+      case CommPattern::Halo3D: {
+        const double face =
+            std::pow(std::max(1.0, node_elems), 2.0 / 3.0);
+        comm_per_rep = halo_exchange_seconds(net, face * elem_bytes, 2);
+        break;
+      }
+      case CommPattern::Transpose: {
+        // Exchange the node's panel with every other node once per rep
+        // (ring schedule: n-1 messages of share/n bytes).
+        const double panel = node_elems * elem_bytes /
+                             std::max(1, nodes);
+        comm_per_rep = (nodes - 1) * net.pt2pt_seconds(panel);
+        break;
+      }
+    }
+    // Stencils and transposes exchange once per parallel region.
+    comm_per_rep *= sig.parallel_regions_per_rep;
+    out.sync_s = barrier_seconds(cluster_.network, nodes) * sig.reps;
+  }
+  out.comm_s = comm_per_rep * sig.reps;
+  out.total_s = out.compute_s + out.comm_s + out.sync_s;
+  return out;
+}
+
+}  // namespace sgp::distributed

@@ -1,0 +1,72 @@
+// Distributed (MPI-style) performance estimation on clusters of
+// modelled nodes: domain-decomposes a kernel across nodes, prices the
+// per-node share with the single-node Simulator, and adds the
+// communication each kernel's access pattern implies.
+#pragma once
+
+#include <string>
+
+#include "core/signature.hpp"
+#include "distributed/network.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+
+namespace sgp::distributed {
+
+/// What a kernel exchanges each rep under 1D domain decomposition.
+enum class CommPattern {
+  None,       ///< embarrassingly parallel (streams, init, packing)
+  AllReduce,  ///< global reductions (DOT, PI_REDUCE, FIRST_MIN, ...)
+  Halo1D,     ///< 1D stencils: two faces of one element row
+  Halo2D,     ///< 2D stencils: two faces of ~sqrt(N) elements
+  Halo3D,     ///< 3D stencils: two faces of ~N^(2/3) elements
+  Transpose,  ///< all-to-all-ish (matrix chains, FW rounds)
+};
+
+constexpr std::string_view to_string(CommPattern p) noexcept {
+  switch (p) {
+    case CommPattern::None:      return "none";
+    case CommPattern::AllReduce: return "allreduce";
+    case CommPattern::Halo1D:    return "halo-1d";
+    case CommPattern::Halo2D:    return "halo-2d";
+    case CommPattern::Halo3D:    return "halo-3d";
+    case CommPattern::Transpose: return "transpose";
+  }
+  return "?";
+}
+
+/// The communication a kernel's pattern implies.
+CommPattern comm_pattern_for(const core::KernelSignature& sig) noexcept;
+
+struct DistributedBreakdown {
+  double compute_s = 0.0;  ///< per-node share, all reps
+  double comm_s = 0.0;     ///< halo/reduction traffic, all reps
+  double sync_s = 0.0;     ///< inter-node barrier, all reps
+  double total_s = 0.0;
+  CommPattern comm = CommPattern::None;
+};
+
+class DistributedSimulator {
+ public:
+  /// Validates the cluster; node config (threads/placement/compiler) is
+  /// fixed per run via the SimConfig.
+  explicit DistributedSimulator(ClusterDescriptor cluster);
+
+  const ClusterDescriptor& cluster() const noexcept { return cluster_; }
+
+  /// Strong scaling: the kernel's global problem is split over all
+  /// nodes; each node runs `node_cfg` threads of its share.
+  DistributedBreakdown run(const core::KernelSignature& sig,
+                           const sim::SimConfig& node_cfg) const;
+
+  double seconds(const core::KernelSignature& sig,
+                 const sim::SimConfig& node_cfg) const {
+    return run(sig, node_cfg).total_s;
+  }
+
+ private:
+  ClusterDescriptor cluster_;
+  sim::Simulator node_sim_;
+};
+
+}  // namespace sgp::distributed

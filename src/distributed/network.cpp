@@ -1,0 +1,81 @@
+#include "distributed/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgp::distributed {
+
+double NetworkDescriptor::pt2pt_seconds(double bytes) const {
+  if (bytes < 0.0) {
+    throw std::invalid_argument("pt2pt_seconds: negative bytes");
+  }
+  return (latency_us + injection_us) * 1e-6 + bytes / (bandwidth_gbs * 1e9);
+}
+
+void NetworkDescriptor::validate() const {
+  if (latency_us <= 0.0 || bandwidth_gbs <= 0.0 || injection_us < 0.0) {
+    throw std::invalid_argument(name + ": non-positive network parameter");
+  }
+}
+
+NetworkDescriptor gigabit_ethernet() {
+  NetworkDescriptor n;
+  n.name = "2x Gigabit Ethernet (onboard)";
+  n.latency_us = 30.0;
+  n.bandwidth_gbs = 0.22;  // 1.76 Gbit/s sustained over both ports
+  n.injection_us = 6.0;
+  return n;
+}
+
+NetworkDescriptor ethernet_25g() {
+  NetworkDescriptor n;
+  n.name = "25 GbE (PCIe Gen4 NIC)";
+  n.latency_us = 4.0;
+  n.bandwidth_gbs = 2.9;
+  n.injection_us = 1.5;
+  return n;
+}
+
+NetworkDescriptor infiniband_hdr() {
+  NetworkDescriptor n;
+  n.name = "InfiniBand HDR100";
+  n.latency_us = 1.2;
+  n.bandwidth_gbs = 11.0;
+  n.injection_us = 0.4;
+  return n;
+}
+
+void ClusterDescriptor::validate() const {
+  node.validate();
+  network.validate();
+  if (num_nodes < 1) {
+    throw std::invalid_argument("ClusterDescriptor: num_nodes < 1");
+  }
+}
+
+double allreduce_seconds(const NetworkDescriptor& net, double bytes,
+                         int nodes) {
+  if (nodes < 1) throw std::invalid_argument("allreduce: nodes < 1");
+  if (nodes == 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nodes)));
+  // Recursive doubling: log2(n) rounds, full payload per round for small
+  // messages (reductions here are a handful of doubles).
+  return rounds * net.pt2pt_seconds(bytes);
+}
+
+double halo_exchange_seconds(const NetworkDescriptor& net,
+                             double face_bytes, int neighbors) {
+  if (neighbors < 0) throw std::invalid_argument("halo: neighbors < 0");
+  if (neighbors == 0) return 0.0;
+  // Sends in each direction can pair up; serialised through one NIC.
+  return neighbors * net.pt2pt_seconds(face_bytes);
+}
+
+double barrier_seconds(const NetworkDescriptor& net, int nodes) {
+  if (nodes < 1) throw std::invalid_argument("barrier: nodes < 1");
+  if (nodes == 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nodes)));
+  return rounds * net.pt2pt_seconds(0.0);
+}
+
+}  // namespace sgp::distributed

@@ -1,0 +1,57 @@
+// Network and cluster descriptors for the paper's "further work":
+// distributed-memory (MPI) performance of systems built from SG2042
+// nodes. The paper notes that networking performance is driven by the
+// auxiliaries coupled with the CPU, so the network is a first-class
+// descriptor here.
+#pragma once
+
+#include <string>
+
+#include "machine/descriptor.hpp"
+
+namespace sgp::distributed {
+
+/// Hockney-model network: t(bytes) = latency + bytes / bandwidth, plus a
+/// per-message host injection overhead (driver + MPI stack).
+struct NetworkDescriptor {
+  std::string name;
+  double latency_us = 1.5;       ///< wire + switch latency, one way
+  double bandwidth_gbs = 12.5;   ///< per-NIC sustained bandwidth
+  double injection_us = 0.5;     ///< per-message CPU-side overhead
+
+  /// Point-to-point time for one message, seconds.
+  double pt2pt_seconds(double bytes) const;
+
+  /// Throws std::invalid_argument on non-positive parameters.
+  void validate() const;
+};
+
+/// The networks a Milk-V Pioneer class node could realistically carry.
+NetworkDescriptor gigabit_ethernet();    ///< onboard 2x GbE
+NetworkDescriptor ethernet_25g();        ///< PCIe Gen4 25 GbE NIC
+NetworkDescriptor infiniband_hdr();      ///< HDR100 via the x16 slot
+
+/// A cluster: identical nodes, one NIC each, full bisection assumed.
+struct ClusterDescriptor {
+  machine::MachineDescriptor node;
+  NetworkDescriptor network;
+  int num_nodes = 1;
+
+  void validate() const;
+};
+
+// --- collective models (per operation, seconds) ---
+
+/// Recursive-doubling allreduce of `bytes` across `nodes`.
+double allreduce_seconds(const NetworkDescriptor& net, double bytes,
+                         int nodes);
+
+/// Nearest-neighbour halo exchange: each node sends/receives
+/// `face_bytes` to/from `neighbors` neighbours (overlapping pairs).
+double halo_exchange_seconds(const NetworkDescriptor& net,
+                             double face_bytes, int neighbors);
+
+/// Barrier (used once per rep when any communication happens).
+double barrier_seconds(const NetworkDescriptor& net, int nodes);
+
+}  // namespace sgp::distributed

@@ -1,0 +1,308 @@
+#include "experiments/experiments.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kernels/register_all.hpp"
+#include "report/ratio.hpp"
+#include "sim/simulator.hpp"
+
+namespace sgp::experiments {
+
+using core::CompilerId;
+using core::Group;
+using core::Precision;
+using core::VectorMode;
+using machine::Placement;
+using sim::SimConfig;
+
+namespace {
+
+const std::vector<core::KernelSignature>& signatures() {
+  static const std::vector<core::KernelSignature> sigs =
+      kernels::all_signatures();
+  return sigs;
+}
+
+/// Per-kernel ratios baseline/subject.
+std::map<std::string, double> time_ratios(
+    const std::map<std::string, double>& baseline,
+    const std::map<std::string, double>& subject) {
+  std::map<std::string, double> out;
+  for (const auto& [name, tb] : baseline) {
+    const auto it = subject.find(name);
+    if (it == subject.end()) {
+      throw std::logic_error("time_ratios: missing kernel " + name);
+    }
+    out[name] = tb / it->second;
+  }
+  return out;
+}
+
+RatioSeries make_series(std::string label,
+                        const std::map<std::string, double>& baseline,
+                        const std::map<std::string, double>& subject) {
+  RatioSeries s;
+  s.label = std::move(label);
+  s.per_kernel_ratio = time_ratios(baseline, subject);
+  s.groups = summarize_by_group(s.per_kernel_ratio, suite_groups());
+  return s;
+}
+
+}  // namespace
+
+std::map<std::string, core::Group> suite_groups() {
+  std::map<std::string, core::Group> out;
+  for (const auto& sig : signatures()) out[sig.name] = sig.group;
+  return out;
+}
+
+std::map<std::string, double> kernel_times(
+    const machine::MachineDescriptor& m, const SimConfig& cfg) {
+  const sim::Simulator simulator(m);
+  std::map<std::string, double> out;
+  for (const auto& sig : signatures()) {
+    out[sig.name] = simulator.seconds(sig, cfg);
+  }
+  return out;
+}
+
+std::vector<GroupRatios> summarize_by_group(
+    const std::map<std::string, double>& ratios,
+    const std::map<std::string, core::Group>& groups) {
+  std::vector<GroupRatios> out;
+  for (const Group g : core::all_groups) {
+    std::vector<double> encoded;
+    for (const auto& [name, r] : ratios) {
+      const auto it = groups.find(name);
+      if (it != groups.end() && it->second == g) {
+        encoded.push_back(report::encode_ratio(r));
+      }
+    }
+    GroupRatios gr;
+    gr.group = g;
+    if (!encoded.empty()) {
+      // Encoded ratios can legitimately be negative ("times slower"),
+      // so only mean/min/max apply here — no geometric mean.
+      gr.mean = report::arithmetic_mean(
+          std::span<const double>(encoded.data(), encoded.size()));
+      gr.min = *std::min_element(encoded.begin(), encoded.end());
+      gr.max = *std::max_element(encoded.begin(), encoded.end());
+      gr.kernels = encoded.size();
+    }
+    out.push_back(gr);
+  }
+  return out;
+}
+
+std::vector<RatioSeries> figure1() {
+  // Single core, GCC, vectorisation enabled where the hardware has it
+  // ("best possible configuration", per the paper).
+  auto cfg = [](Precision p) {
+    SimConfig c;
+    c.precision = p;
+    c.compiler = CompilerId::Gcc;
+    c.vector_mode = VectorMode::VLS;
+    c.nthreads = 1;
+    c.placement = Placement::Block;
+    return c;
+  };
+
+  const auto v1 = machine::visionfive_v1();
+  const auto v2 = machine::visionfive_v2();
+  const auto sg = machine::sg2042();
+
+  const auto baseline = kernel_times(v2, cfg(Precision::FP64));
+
+  std::vector<RatioSeries> out;
+  out.push_back(make_series("VisionFive V1 FP64", baseline,
+                            kernel_times(v1, cfg(Precision::FP64))));
+  out.push_back(make_series("VisionFive V1 FP32", baseline,
+                            kernel_times(v1, cfg(Precision::FP32))));
+  out.push_back(make_series("VisionFive V2 FP32", baseline,
+                            kernel_times(v2, cfg(Precision::FP32))));
+  out.push_back(make_series("SG2042 FP64", baseline,
+                            kernel_times(sg, cfg(Precision::FP64))));
+  out.push_back(make_series("SG2042 FP32", baseline,
+                            kernel_times(sg, cfg(Precision::FP32))));
+  return out;
+}
+
+ScalingTable scaling_table(Placement placement) {
+  const auto sg = machine::sg2042();
+  const sim::Simulator simulator(sg);
+
+  auto cfg = [&](int threads) {
+    SimConfig c;
+    c.precision = Precision::FP32;  // the paper scales at FP32
+    c.compiler = CompilerId::Gcc;
+    c.vector_mode = VectorMode::VLS;
+    c.nthreads = threads;
+    c.placement = placement;
+    return c;
+  };
+
+  ScalingTable table;
+  table.placement = placement;
+  table.thread_counts = {2, 4, 8, 16, 32, 64};
+
+  // Serial baseline per kernel.
+  std::map<std::string, double> t1;
+  for (const auto& sig : signatures()) {
+    t1[sig.name] = simulator.seconds(sig, cfg(1));
+  }
+
+  for (const Group g : core::all_groups) {
+    table.cells[g] = {};
+  }
+  for (const int n : table.thread_counts) {
+    // Class speedup = arithmetic mean of per-kernel speedups.
+    std::map<Group, std::vector<double>> per_group;
+    for (const auto& sig : signatures()) {
+      const double tn = simulator.seconds(sig, cfg(n));
+      per_group[sig.group].push_back(t1[sig.name] / tn);
+    }
+    for (const Group g : core::all_groups) {
+      const auto& v = per_group[g];
+      ScalingCell cell;
+      cell.speedup = report::arithmetic_mean(
+          std::span<const double>(v.data(), v.size()));
+      cell.parallel_efficiency =
+          report::parallel_efficiency(cell.speedup, n);
+      table.cells[g].push_back(cell);
+    }
+  }
+  return table;
+}
+
+std::vector<RatioSeries> figure2() {
+  const auto sg = machine::sg2042();
+
+  auto cfg = [](Precision p, VectorMode m) {
+    SimConfig c;
+    c.precision = p;
+    c.compiler = CompilerId::Gcc;
+    c.vector_mode = m;
+    c.nthreads = 1;
+    return c;
+  };
+
+  std::vector<RatioSeries> out;
+  for (const Precision p : {Precision::FP32, Precision::FP64}) {
+    const auto scalar = kernel_times(sg, cfg(p, VectorMode::Scalar));
+    const auto vector = kernel_times(sg, cfg(p, VectorMode::VLS));
+    out.push_back(make_series(
+        std::string("vectorised ") + std::string(core::to_string(p)) +
+            " vs scalar",
+        scalar, vector));
+  }
+  return out;
+}
+
+std::vector<Fig3Row> figure3() {
+  const auto sg = machine::sg2042();
+  const sim::Simulator simulator(sg);
+
+  auto cfg = [](CompilerId comp, VectorMode mode) {
+    SimConfig c;
+    c.precision = Precision::FP32;  // the paper's Figure 3 runs FP32
+    c.compiler = comp;
+    c.vector_mode = mode;
+    c.nthreads = 1;
+    return c;
+  };
+
+  const std::vector<std::string> paper_named = {
+      "2MM",    "3MM",       "GEMM",      "FLOYD_WARSHALL",
+      "HEAT_3D", "JACOBI_1D", "JACOBI_2D"};
+
+  std::vector<Fig3Row> out;
+  for (const auto& sig : signatures()) {
+    if (sig.group != Group::Polybench) continue;
+    const double t_gcc =
+        simulator.seconds(sig, cfg(CompilerId::Gcc, VectorMode::VLS));
+    const double t_vla =
+        simulator.seconds(sig, cfg(CompilerId::Clang, VectorMode::VLA));
+    const double t_vls =
+        simulator.seconds(sig, cfg(CompilerId::Clang, VectorMode::VLS));
+    Fig3Row row;
+    row.kernel = sig.name;
+    row.clang_vla = report::encode_ratio(t_gcc / t_vla);
+    row.clang_vls = report::encode_ratio(t_gcc / t_vls);
+    row.gcc_vectorizes = sig.gcc.vectorizes;
+    row.gcc_runtime_scalar =
+        sig.gcc.vectorizes && !sig.gcc.runtime_vector_path;
+    row.clang_vectorizes = sig.clang.vectorizes;
+    row.paper_named =
+        std::find(paper_named.begin(), paper_named.end(), sig.name) !=
+        paper_named.end();
+    out.push_back(row);
+  }
+  return out;
+}
+
+int best_sg2042_threads(Group g, Precision prec) {
+  const auto sg = machine::sg2042();
+  const sim::Simulator simulator(sg);
+  auto cfg = [&](int n) {
+    SimConfig c;
+    c.precision = prec;
+    c.compiler = CompilerId::Gcc;
+    c.vector_mode = VectorMode::VLS;
+    c.nthreads = n;
+    c.placement = Placement::ClusterCyclic;
+    return c;
+  };
+  double best_time = 0.0;
+  int best_n = 32;
+  for (const int n : {32, 64}) {
+    double total = 0.0;
+    for (const auto& sig : signatures()) {
+      if (sig.group != g) continue;
+      total += simulator.seconds(sig, cfg(n));
+    }
+    if (best_time == 0.0 || total < best_time) {
+      best_time = total;
+      best_n = n;
+    }
+  }
+  return best_n;
+}
+
+std::vector<RatioSeries> x86_comparison(Precision prec, bool multithreaded) {
+  const auto sg = machine::sg2042();
+  const sim::Simulator sg_sim(sg);
+
+  // SG2042 baseline: single core, or the most performant thread count
+  // per class with cluster placement (Section 3.2's best practice).
+  std::map<std::string, double> baseline;
+  {
+    SimConfig c;
+    c.precision = prec;
+    c.compiler = CompilerId::Gcc;
+    c.vector_mode = VectorMode::VLS;
+    c.placement = Placement::ClusterCyclic;
+    for (const auto& sig : signatures()) {
+      c.nthreads =
+          multithreaded ? best_sg2042_threads(sig.group, prec) : 1;
+      baseline[sig.name] = sg_sim.seconds(sig, c);
+    }
+  }
+
+  std::vector<RatioSeries> out;
+  for (const auto& x86 : machine::x86_machines()) {
+    SimConfig c;
+    c.precision = prec;
+    c.compiler = CompilerId::Gcc;
+    c.vector_mode = VectorMode::VLS;
+    c.placement = Placement::Block;
+    c.nthreads = multithreaded ? x86.num_cores : 1;
+    // Ratio is t_SG2042 / t_x86: positive encoded = x86 faster, matching
+    // the paper's Figures 4-7 axes.
+    out.push_back(
+        make_series(x86.name, baseline, kernel_times(x86, c)));
+  }
+  return out;
+}
+
+}  // namespace sgp::experiments

@@ -1,0 +1,426 @@
+#include "kernels/algorithm/algorithm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "kernels/detail/data_init.hpp"
+#include "kernels/detail/dual_precision.hpp"
+#include "kernels/detail/signature_builder.hpp"
+
+namespace sgp::kernels::algorithm {
+
+namespace {
+
+using core::AccessPattern;
+using core::Group;
+using core::OpMix;
+using detail::SignatureBuilder;
+
+constexpr std::size_t kN = 4'000'000;
+
+// ------------------------------------------------------------- MEMSET --
+class Memset final : public detail::DualPrecisionKernel<Memset> {
+ public:
+  Memset()
+      : DualPrecisionKernel(
+            SignatureBuilder("MEMSET", Group::Algorithm)
+                .iters(kN)
+                .reps(200)
+                .mix(OpMix{.stores = 1})
+                .streamed(0, 1)
+                .working_set(kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x;
+    Real value = Real(0);
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.x.assign(rp.scaled(kN), Real(-1));
+    s.value = Real(3.14159);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    Real* x = s.x.data();
+    const Real v = s.value;
+    exec.parallel_for(s.x.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) x[i] = v;
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().x));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------------- MEMCPY --
+class Memcpy final : public detail::DualPrecisionKernel<Memcpy> {
+ public:
+  Memcpy()
+      : DualPrecisionKernel(
+            SignatureBuilder("MEMCPY", Group::Algorithm)
+                .iters(kN)
+                .reps(200)
+                .mix(OpMix{.loads = 1, .stores = 1})
+                .streamed(1, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x = detail::ramp<Real>(n, -1.0, 3e-4);
+    s.y.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    Real* y = s.y.data();
+    exec.parallel_for(s.y.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) y[i] = x[i];
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// --------------------------------------------------------- REDUCE_SUM --
+class ReduceSum final : public detail::DualPrecisionKernel<ReduceSum> {
+ public:
+  ReduceSum()
+      : DualPrecisionKernel(
+            SignatureBuilder("REDUCE_SUM", Group::Algorithm)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.fadd = 1, .loads = 1})
+                .streamed(1, 0)
+                .working_set(kN)
+                .pattern(AccessPattern::Reduction)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x;
+    Real sum = Real(0);
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.x = detail::wavy<Real>(rp.scaled(kN), 1.0, 0.0021, 0.1);
+    s.sum = Real(0);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    std::vector<double> partial(
+        static_cast<std::size_t>(exec.max_chunks()), 0.0);
+    double* part = partial.data();
+    exec.parallel_for(s.x.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        double sum = 0.0;
+                        for (std::size_t i = lo; i < hi; ++i) sum += x[i];
+                        part[chunk] = sum;
+                      });
+    s.sum = static_cast<Real>(
+        std::accumulate(partial.begin(), partial.end(), 0.0));
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return static_cast<long double>(st_.get<Real>().sum);
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// --------------------------------------------------------------- SCAN --
+// Exclusive prefix sum, two-pass parallel implementation (chunk sums,
+// then offset propagation), which is what the sequential-dependence
+// signature encodes.
+class Scan final : public detail::DualPrecisionKernel<Scan> {
+ public:
+  Scan()
+      : DualPrecisionKernel(
+            SignatureBuilder("SCAN", Group::Algorithm)
+                .iters(kN)
+                .reps(100)
+                .regions(2)
+                .seq(0.02)
+                .mix(OpMix{.fadd = 2, .loads = 2, .stores = 1})
+                .streamed(1, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Sequential)
+                .recurrence()
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x = detail::wavy<Real>(n, 0.5, 0.0013, 0.75);
+    s.y.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    Real* y = s.y.data();
+    const int chunks = exec.max_chunks();
+    std::vector<double> chunk_sum(static_cast<std::size_t>(chunks), 0.0);
+    double* csum = chunk_sum.data();
+    // Pass 1: local exclusive scans + chunk totals.
+    exec.parallel_for(s.x.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        double acc = 0.0;
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          y[i] = static_cast<Real>(acc);
+                          acc += x[i];
+                        }
+                        csum[chunk] = acc;
+                      });
+    // Serial offset propagation.
+    std::vector<double> offset(static_cast<std::size_t>(chunks), 0.0);
+    for (int c = 1; c < chunks; ++c) {
+      offset[static_cast<std::size_t>(c)] =
+          offset[static_cast<std::size_t>(c - 1)] +
+          chunk_sum[static_cast<std::size_t>(c - 1)];
+    }
+    const double* off = offset.data();
+    // Pass 2: apply offsets.
+    exec.parallel_for(s.x.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        const Real o = static_cast<Real>(off[chunk]);
+                        for (std::size_t i = lo; i < hi; ++i) y[i] += o;
+                      });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// --------------------------------------------------------------- SORT --
+// Each rep restores the pristine shuffled data then sorts: parallel
+// chunk sort followed by a serial merge cascade.
+class Sort final : public detail::DualPrecisionKernel<Sort> {
+ public:
+  Sort()
+      : DualPrecisionKernel(
+            SignatureBuilder("SORT", Group::Algorithm)
+                .iters(kN * 20.0)  // ~ n log2 n comparisons
+                .reps(10)
+                .regions(2)
+                .seq(0.25)
+                .mix(OpMix{.fcmp = 1, .iops = 2, .loads = 1, .stores = 0.5,
+                           .branches = 1})
+                .streamed(0.05, 0.05)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Sort)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> pristine, x;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.pristine = detail::uniform<Real>(n, rp.seed, -1.0, 1.0);
+    s.x = s.pristine;
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    s.x = s.pristine;
+    Real* x = s.x.data();
+    const int chunks = exec.max_chunks();
+    const std::size_t n = s.x.size();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      std::sort(x + lo, x + hi);
+    });
+    // Merge cascade (serial): merge chunk 0 with 1, result with 2, ...
+    using threading_pair = std::pair<std::size_t, std::size_t>;
+    std::vector<threading_pair> ranges;
+    for (int c = 0; c < chunks; ++c) {
+      const std::size_t k = static_cast<std::size_t>(chunks);
+      const std::size_t i = static_cast<std::size_t>(c);
+      const std::size_t base = n / k, rem = n % k;
+      const std::size_t begin = i * base + std::min(i, rem);
+      const std::size_t len = base + (i < rem ? 1 : 0);
+      if (len > 0) ranges.emplace_back(begin, begin + len);
+    }
+    for (std::size_t r = 1; r < ranges.size(); ++r) {
+      std::inplace_merge(x + ranges.front().first, x + ranges[r].first,
+                         x + ranges[r].second);
+    }
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().x));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- SORTPAIRS --
+// Key/value sort: keys carry an index payload that must move with them.
+class SortPairs final : public detail::DualPrecisionKernel<SortPairs> {
+ public:
+  SortPairs()
+      : DualPrecisionKernel(
+            SignatureBuilder("SORTPAIRS", Group::Algorithm)
+                .iters(kN * 20.0)
+                .reps(8)
+                .regions(2)
+                .seq(0.25)
+                .mix(OpMix{.fcmp = 1, .iops = 3, .loads = 2, .stores = 1,
+                           .branches = 1})
+                .streamed(0.1, 0.1)
+                .working_set(4.0 * kN)
+                .pattern(AccessPattern::Sort)
+                .build()) {}
+
+  template <class Real>
+  struct Pair {
+    Real key;
+    std::int64_t value;
+    bool operator<(const Pair& o) const { return key < o.key; }
+  };
+
+  template <class Real>
+  struct State {
+    std::vector<Pair<Real>> pristine, x;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    const auto keys = detail::uniform<Real>(n, rp.seed + 1, -2.0, 2.0);
+    s.pristine.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.pristine[i] = {keys[i], static_cast<std::int64_t>(i)};
+    }
+    s.x = s.pristine;
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    s.x = s.pristine;
+    auto* x = s.x.data();
+    const std::size_t n = s.x.size();
+    const int chunks = exec.max_chunks();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      std::sort(x + lo, x + hi);
+    });
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    for (int c = 0; c < chunks; ++c) {
+      const std::size_t k = static_cast<std::size_t>(chunks);
+      const std::size_t i = static_cast<std::size_t>(c);
+      const std::size_t base = n / k, rem = n % k;
+      const std::size_t begin = i * base + std::min(i, rem);
+      const std::size_t len = base + (i < rem ? 1 : 0);
+      if (len > 0) ranges.emplace_back(begin, begin + len);
+    }
+    for (std::size_t r = 1; r < ranges.size(); ++r) {
+      std::inplace_merge(x + ranges.front().first, x + ranges[r].first,
+                         x + ranges[r].second);
+    }
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    long double sum = 0.0L;
+    const long double n = static_cast<long double>(s.x.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      sum += (static_cast<long double>(s.x[i].key) +
+              static_cast<long double>(s.x[i].value) / n) *
+             (static_cast<long double>(i + 1) / n);
+    }
+    return sum;
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::KernelBase> make_memset() {
+  return std::make_unique<Memset>();
+}
+std::unique_ptr<core::KernelBase> make_memcpy() {
+  return std::make_unique<Memcpy>();
+}
+std::unique_ptr<core::KernelBase> make_reduce_sum() {
+  return std::make_unique<ReduceSum>();
+}
+std::unique_ptr<core::KernelBase> make_scan() {
+  return std::make_unique<Scan>();
+}
+std::unique_ptr<core::KernelBase> make_sort() {
+  return std::make_unique<Sort>();
+}
+std::unique_ptr<core::KernelBase> make_sortpairs() {
+  return std::make_unique<SortPairs>();
+}
+
+}  // namespace sgp::kernels::algorithm

@@ -1,0 +1,17 @@
+// Algorithm-class kernels: memory set/copy, reduction, scan and sorts.
+#pragma once
+
+#include <memory>
+
+#include "core/kernel_base.hpp"
+
+namespace sgp::kernels::algorithm {
+
+std::unique_ptr<core::KernelBase> make_memset();
+std::unique_ptr<core::KernelBase> make_memcpy();
+std::unique_ptr<core::KernelBase> make_reduce_sum();
+std::unique_ptr<core::KernelBase> make_scan();
+std::unique_ptr<core::KernelBase> make_sort();
+std::unique_ptr<core::KernelBase> make_sortpairs();
+
+}  // namespace sgp::kernels::algorithm

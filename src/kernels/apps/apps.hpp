@@ -1,0 +1,25 @@
+// Apps-class kernels: fragments of real HPC applications (FEM partial
+// assembly, halo exchange packing, hydro fragments, transport sweeps).
+#pragma once
+
+#include <memory>
+
+#include "core/kernel_base.hpp"
+
+namespace sgp::kernels::apps {
+
+std::unique_ptr<core::KernelBase> make_convection3dpa();
+std::unique_ptr<core::KernelBase> make_del_dot_vec_2d();
+std::unique_ptr<core::KernelBase> make_diffusion3dpa();
+std::unique_ptr<core::KernelBase> make_energy();
+std::unique_ptr<core::KernelBase> make_fir();
+std::unique_ptr<core::KernelBase> make_halo_packing();
+std::unique_ptr<core::KernelBase> make_halo_unpacking();
+std::unique_ptr<core::KernelBase> make_ltimes();
+std::unique_ptr<core::KernelBase> make_ltimes_noview();
+std::unique_ptr<core::KernelBase> make_mass3dpa();
+std::unique_ptr<core::KernelBase> make_nodal_accumulation_3d();
+std::unique_ptr<core::KernelBase> make_pressure();
+std::unique_ptr<core::KernelBase> make_vol3d();
+
+}  // namespace sgp::kernels::apps

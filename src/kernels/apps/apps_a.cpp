@@ -1,0 +1,626 @@
+// Apps kernels, part 1: the three partial-assembly FEM operators, the
+// 2D divergence fragment, ENERGY, FIR and halo packing/unpacking.
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "kernels/apps/apps.hpp"
+#include "kernels/apps/pa_common.hpp"
+#include "kernels/detail/data_init.hpp"
+#include "kernels/detail/dual_precision.hpp"
+#include "kernels/detail/signature_builder.hpp"
+
+namespace sgp::kernels::apps {
+
+namespace {
+
+using core::AccessPattern;
+using core::Group;
+using core::OpMix;
+using detail::SignatureBuilder;
+
+constexpr std::size_t kNE = 4000;  // elements for the PA kernels
+
+core::KernelSignature pa_signature(const char* name, double flops_scale) {
+  return SignatureBuilder(name, Group::Apps)
+      .iters(static_cast<double>(kNE) * pa::quads_per_elem())
+      .reps(30)
+      .mix(OpMix{.ffma = 10 * flops_scale, .loads = 6, .stores = 1})
+      // Each quadrature point streams its qdata entries (6 symmetric
+      // operator values) besides the element dofs.
+      .streamed(4.0, 1.2)
+      .working_set(kNE * (2.0 * pa::dofs_per_elem() +
+                          6.0 * pa::quads_per_elem()))
+      .pattern(AccessPattern::BlockedMatrix)
+      .build();
+}
+
+/// Common state/driver for the three PA operators; the derived kernels
+/// differ in the quadrature-point multiplier they apply.
+template <class Real>
+struct PaState {
+  std::vector<Real> x, y, qdata;
+  std::array<Real, pa::kQ * pa::kD> b{};
+  std::size_t ne = 0;
+};
+
+template <class Real, class QFunc>
+void run_pa(PaState<Real>& s, core::Executor& exec, const QFunc& qfunc) {
+  const Real* x = s.x.data();
+  Real* y = s.y.data();
+  const Real* qd = s.qdata.data();
+  const Real* b = s.b.data();
+  exec.parallel_for(s.ne, [=](std::size_t lo, std::size_t hi, int) {
+    Real u[pa::quads_per_elem()];
+    for (std::size_t e = lo; e < hi; ++e) {
+      const Real* xe = x + e * pa::dofs_per_elem();
+      Real* ye = y + e * pa::dofs_per_elem();
+      const Real* qe = qd + e * pa::quads_per_elem();
+      pa::interp_to_quads(xe, b, u);
+      for (std::size_t q = 0; q < pa::quads_per_elem(); ++q) {
+        u[q] = qfunc(u[q], qe[q], q);
+      }
+      pa::quads_to_dofs(u, b, ye);
+    }
+  });
+}
+
+template <class Real>
+void init_pa(PaState<Real>& s, const core::RunParams& rp, double scale,
+             unsigned seed_offset) {
+  s.ne = rp.scaled(kNE, 4);
+  s.x = detail::wavy<Real>(s.ne * pa::dofs_per_elem(), 0.5, 0.0021, 0.4);
+  s.qdata =
+      detail::uniform<Real>(s.ne * pa::quads_per_elem(),
+                            rp.seed + seed_offset, 0.5, 1.5);
+  s.y.assign(s.ne * pa::dofs_per_elem(), Real(0));
+  s.b = pa::basis<Real>(scale);
+}
+
+// ----------------------------------------------------------- MASS3DPA --
+class Mass3dpa final : public detail::DualPrecisionKernel<Mass3dpa> {
+ public:
+  Mass3dpa() : DualPrecisionKernel(pa_signature("MASS3DPA", 1.0)) {}
+
+  template <class Real>
+  using State = PaState<Real>;
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    init_pa(st_.get<Real>(), rp, 1.0, 41);
+  }
+  template <class Real>
+  void run(core::Executor& exec) {
+    run_pa(st_.get<Real>(), exec,
+           [](Real u, Real q, std::size_t) { return u * q; });
+  }
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------ DIFFUSION3DPA --
+class Diffusion3dpa final : public detail::DualPrecisionKernel<Diffusion3dpa> {
+ public:
+  Diffusion3dpa() : DualPrecisionKernel(pa_signature("DIFFUSION3DPA", 1.4)) {}
+
+  template <class Real>
+  using State = PaState<Real>;
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    init_pa(st_.get<Real>(), rp, 1.2, 42);
+  }
+  template <class Real>
+  void run(core::Executor& exec) {
+    // Diffusion weights the value by the symmetric operator entry and a
+    // gradient-magnitude proxy.
+    run_pa(st_.get<Real>(), exec, [](Real u, Real q, std::size_t idx) {
+      const Real g = Real(0.5) + Real(idx % pa::kQ) * Real(0.1);
+      return u * q * g + u * Real(0.05);
+    });
+  }
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ----------------------------------------------------- CONVECTION3DPA --
+class Convection3dpa final
+    : public detail::DualPrecisionKernel<Convection3dpa> {
+ public:
+  Convection3dpa()
+      : DualPrecisionKernel(pa_signature("CONVECTION3DPA", 1.2)) {}
+
+  template <class Real>
+  using State = PaState<Real>;
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    init_pa(st_.get<Real>(), rp, 0.9, 43);
+  }
+  template <class Real>
+  void run(core::Executor& exec) {
+    // Convection applies a directional (skew) velocity weighting.
+    run_pa(st_.get<Real>(), exec, [](Real u, Real q, std::size_t idx) {
+      const Real vx = Real(0.3), vy = Real(0.5), vz = Real(0.2);
+      const std::size_t qx = idx % pa::kQ;
+      const std::size_t qy = (idx / pa::kQ) % pa::kQ;
+      const std::size_t qz = idx / (pa::kQ * pa::kQ);
+      const Real dir = vx * Real(qx) + vy * Real(qy) + vz * Real(qz);
+      return u * q * (Real(1) + Real(0.01) * dir);
+    });
+  }
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ----------------------------------------------------- DEL_DOT_VEC_2D --
+// Divergence of a vector field on a 2D staggered mesh.
+class DelDotVec2d final : public detail::DualPrecisionKernel<DelDotVec2d> {
+ public:
+  static constexpr std::size_t kDim = 700;
+
+  DelDotVec2d()
+      : DualPrecisionKernel(
+            SignatureBuilder("DEL_DOT_VEC_2D", Group::Apps)
+                .iters(static_cast<double>(kDim) * kDim)
+                .reps(60)
+                .mix(OpMix{.fadd = 4, .fmul = 2, .ffma = 6, .loads = 8,
+                           .stores = 1})
+                .streamed(3, 1)
+                .working_set(5.0 * kDim * kDim)
+                .pattern(AccessPattern::Stencil2D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y, xdot, ydot, div;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kDim, 8);
+    const std::size_t nn = (s.n + 1) * (s.n + 1);
+    s.x = detail::ramp<Real>(nn, 0.0, 1.0 / static_cast<double>(s.n));
+    s.y = detail::ramp<Real>(nn, 0.0, 1.0 / static_cast<double>(s.n));
+    s.xdot = detail::wavy<Real>(nn, 0.1, 0.0031, 0.2);
+    s.ydot = detail::wavy<Real>(nn, 0.1, 0.0017, 0.1);
+    s.div.assign(s.n * s.n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const std::size_t np = n + 1;
+    const Real* x = s.x.data();
+    const Real* y = s.y.data();
+    const Real* xd = s.xdot.data();
+    const Real* yd = s.ydot.data();
+    Real* div = s.div.data();
+    const Real half = Real(0.5), ptiny = Real(1e-12);
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t c0 = i * np + j;       // SW corner
+          const std::size_t c1 = c0 + 1;           // SE
+          const std::size_t c2 = c0 + np + 1;      // NE
+          const std::size_t c3 = c0 + np;          // NW
+          const Real xi = half * (x[c1] + x[c2] - x[c0] - x[c3]);
+          const Real xj = half * (x[c3] + x[c2] - x[c0] - x[c1]);
+          const Real yi = half * (y[c1] + y[c2] - y[c0] - y[c3]);
+          const Real yj = half * (y[c3] + y[c2] - y[c0] - y[c1]);
+          const Real fx = half * (xd[c1] + xd[c2] - xd[c0] - xd[c3]);
+          const Real gx = half * (xd[c3] + xd[c2] - xd[c0] - xd[c1]);
+          const Real fy = half * (yd[c1] + yd[c2] - yd[c0] - yd[c3]);
+          const Real gy = half * (yd[c3] + yd[c2] - yd[c0] - yd[c1]);
+          const Real rarea = Real(1) / (xi * yj - xj * yi + ptiny);
+          div[i * n + j] = rarea * (fx * yj - fy * xj + gy * xi - gx * yi);
+        }
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().div));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------------- ENERGY --
+// Six dependent sweeps over the zone arrays (the RAJAPerf ENERGY kernel
+// launches six parallel regions per rep).
+class Energy final : public detail::DualPrecisionKernel<Energy> {
+ public:
+  static constexpr std::size_t kN = 400'000;
+
+  Energy()
+      : DualPrecisionKernel(
+            SignatureBuilder("ENERGY", Group::Apps)
+                .iters(kN)
+                .reps(50)
+                .regions(6)
+                .seq(0.0)
+                .mix(OpMix{.fadd = 5, .fmul = 4, .fcmp = 2, .loads = 7,
+                           .stores = 2, .branches = 2})
+                .streamed(6, 2)
+                .working_set(9.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> e_new, e_old, delvc, p_new, p_old, q_new, q_old,
+        work, compHalfStep;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.e_old = detail::uniform<Real>(n, rp.seed + 51, 0.5, 1.5);
+    s.delvc = detail::wavy<Real>(n, 0.2, 0.0013, 0.0);
+    s.p_old = detail::uniform<Real>(n, rp.seed + 52, 0.2, 1.0);
+    s.q_old = detail::uniform<Real>(n, rp.seed + 53, 0.1, 0.6);
+    s.work = detail::wavy<Real>(n, 0.1, 0.0031, 0.05);
+    s.compHalfStep = detail::uniform<Real>(n, rp.seed + 54, 0.8, 1.2);
+    s.e_new.assign(n, Real(0));
+    s.p_new.assign(n, Real(0));
+    s.q_new.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.e_old.size();
+    Real* e_new = s.e_new.data();
+    const Real* e_old = s.e_old.data();
+    const Real* delvc = s.delvc.data();
+    Real* p_new = s.p_new.data();
+    const Real* p_old = s.p_old.data();
+    Real* q_new = s.q_new.data();
+    const Real* q_old = s.q_old.data();
+    const Real* work = s.work.data();
+    const Real* chs = s.compHalfStep.data();
+    const Real half = Real(0.5), emin = Real(-1e10), rho0 = Real(1.0);
+
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        e_new[i] = e_old[i] - half * delvc[i] * (p_old[i] + q_old[i]) +
+                   half * work[i];
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (delvc[i] > Real(0)) {
+          q_new[i] = Real(0);
+        } else {
+          q_new[i] = q_old[i] * chs[i];
+        }
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        e_new[i] += half * delvc[i] *
+                    (Real(3) * (p_old[i] + q_old[i]) - Real(4) * q_new[i]);
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        e_new[i] += half * work[i];
+        if (std::abs(e_new[i]) < Real(1e-12)) e_new[i] = Real(0);
+        if (e_new[i] < emin) e_new[i] = emin;
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        p_new[i] = rho0 * e_new[i] * chs[i];
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        q_new[i] = q_new[i] + half * delvc[i] * p_new[i];
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return core::checksum(std::span<const Real>(s.e_new)) +
+           core::checksum(std::span<const Real>(s.q_new));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------------- FIR --
+class Fir final : public detail::DualPrecisionKernel<Fir> {
+ public:
+  static constexpr std::size_t kN = 1'000'000;
+  static constexpr std::size_t kTaps = 16;
+
+  Fir()
+      : DualPrecisionKernel(
+            SignatureBuilder("FIR", Group::Apps)
+                .iters(kN)
+                .reps(60)
+                .mix(OpMix{.ffma = 16, .loads = 17, .stores = 1})
+                .streamed(1, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Stencil1D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> in, out;
+    std::array<Real, kTaps> coeff{};
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.in = detail::wavy<Real>(n + kTaps, 1.0, 0.01, 0.0);
+    s.out.assign(n, Real(0));
+    for (std::size_t t = 0; t < kTaps; ++t) {
+      s.coeff[t] = static_cast<Real>((t % 2 == 0 ? 1.0 : -1.0) /
+                                     static_cast<double>(t + 2));
+    }
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* in = s.in.data();
+    Real* out = s.out.data();
+    const auto coeff = s.coeff;  // by value into the lambda
+    exec.parallel_for(s.out.size(),
+                      [=](std::size_t lo, std::size_t hi, int) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          Real acc = Real(0);
+                          for (std::size_t t = 0; t < kTaps; ++t) {
+                            acc += coeff[t] * in[i + t];
+                          }
+                          out[i] = acc;
+                        }
+                      });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().out));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------- HALO_PACKING (+UN) --
+// Gathers the 26 boundary surfaces of three 3D variables into exchange
+// buffers (packing) or scatters them back (unpacking). One parallel
+// region per direction keeps the RAJAPerf structure: many small loops,
+// which is exactly why the apps class scales poorly at low thread
+// counts.
+template <class Real>
+struct HaloState {
+  std::vector<Real> var1, var2, var3, buffer;
+  std::vector<std::int64_t> index_list;       // gathered cell indices
+  std::vector<std::size_t> dir_offset;        // 27 entries: prefix sums
+  std::size_t n = 0;
+};
+
+template <class Real>
+void init_halo(HaloState<Real>& s, const core::RunParams& rp) {
+  s.n = rp.scaled(100, 8);
+  const std::size_t n = s.n;
+  const std::size_t nn = n * n * n;
+  s.var1 = detail::wavy<Real>(nn, 0.5, 0.0011, 0.3);
+  s.var2 = detail::wavy<Real>(nn, 0.5, 0.0023, 0.2);
+  s.var3 = detail::wavy<Real>(nn, 0.5, 0.0037, 0.1);
+  s.index_list.clear();
+  s.dir_offset.assign(1, 0);
+  auto at = [n](std::size_t i, std::size_t j, std::size_t k) {
+    return (i * n + j) * n + k;
+  };
+  // 26 directions: each dimension offset in {-1, 0, +1}, not all zero.
+  for (int di = -1; di <= 1; ++di) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      for (int dk = -1; dk <= 1; ++dk) {
+        if (di == 0 && dj == 0 && dk == 0) continue;
+        const auto range = [n](int d) -> std::pair<std::size_t, std::size_t> {
+          if (d < 0) return {0, 1};
+          if (d > 0) return {n - 1, n};
+          return {0, n};
+        };
+        const auto [i0, i1] = range(di);
+        const auto [j0, j1] = range(dj);
+        const auto [k0, k1] = range(dk);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            for (std::size_t k = k0; k < k1; ++k) {
+              s.index_list.push_back(
+                  static_cast<std::int64_t>(at(i, j, k)));
+            }
+          }
+        }
+        s.dir_offset.push_back(s.index_list.size());
+      }
+    }
+  }
+  s.buffer.assign(3 * s.index_list.size(), Real(0));
+}
+
+class HaloPacking final : public detail::DualPrecisionKernel<HaloPacking> {
+ public:
+  HaloPacking()
+      : DualPrecisionKernel(
+            SignatureBuilder("HALO_PACKING", Group::Apps)
+                .iters(3.0 * 61208)  // 3 vars x boundary cells of 100^3
+                .reps(50)
+                .regions(78)
+                .seq(0.02)
+                .mix(OpMix{.iops = 2, .loads = 2, .stores = 1})
+                .streamed(1.2, 1)
+                .working_set(7.0 * 61208)
+                .pattern(AccessPattern::Gather)
+                .build()) {}
+
+  template <class Real>
+  using State = HaloState<Real>;
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    init_halo(st_.get<Real>(), rp);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::int64_t* list = s.index_list.data();
+    const std::size_t stride = s.index_list.size();
+    const Real* vars[3] = {s.var1.data(), s.var2.data(), s.var3.data()};
+    Real* buffer = s.buffer.data();
+    for (std::size_t dir = 0; dir + 1 < s.dir_offset.size(); ++dir) {
+      const std::size_t lo0 = s.dir_offset[dir];
+      const std::size_t len = s.dir_offset[dir + 1] - lo0;
+      for (int v = 0; v < 3; ++v) {
+        const Real* var = vars[v];
+        Real* buf = buffer + static_cast<std::size_t>(v) * stride;
+        exec.parallel_for(len, [=](std::size_t lo, std::size_t hi, int) {
+          for (std::size_t q = lo; q < hi; ++q) {
+            buf[lo0 + q] = var[list[lo0 + q]];
+          }
+        });
+      }
+    }
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().buffer));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+class HaloUnpacking final
+    : public detail::DualPrecisionKernel<HaloUnpacking> {
+ public:
+  HaloUnpacking()
+      : DualPrecisionKernel(
+            SignatureBuilder("HALO_UNPACKING", Group::Apps)
+                .iters(3.0 * 61208)
+                .reps(50)
+                .regions(78)
+                .seq(0.02)
+                .mix(OpMix{.iops = 2, .loads = 2, .stores = 1})
+                .streamed(1.2, 1)
+                .working_set(7.0 * 61208)
+                .pattern(AccessPattern::Gather)
+                .build()) {}
+
+  template <class Real>
+  using State = HaloState<Real>;
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    init_halo(s, rp);
+    // Pre-fill the exchange buffers with data to scatter.
+    s.buffer = detail::wavy<Real>(s.buffer.size(), 0.7, 0.0041, 0.2);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::int64_t* list = s.index_list.data();
+    const std::size_t stride = s.index_list.size();
+    Real* vars[3] = {s.var1.data(), s.var2.data(), s.var3.data()};
+    const Real* buffer = s.buffer.data();
+    for (std::size_t dir = 0; dir + 1 < s.dir_offset.size(); ++dir) {
+      const std::size_t lo0 = s.dir_offset[dir];
+      const std::size_t len = s.dir_offset[dir + 1] - lo0;
+      for (int v = 0; v < 3; ++v) {
+        Real* var = vars[v];
+        const Real* buf = buffer + static_cast<std::size_t>(v) * stride;
+        exec.parallel_for(len, [=](std::size_t lo, std::size_t hi, int) {
+          for (std::size_t q = lo; q < hi; ++q) {
+            var[list[lo0 + q]] = buf[lo0 + q];
+          }
+        });
+      }
+    }
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return core::checksum(std::span<const Real>(s.var1)) +
+           core::checksum(std::span<const Real>(s.var2)) +
+           core::checksum(std::span<const Real>(s.var3));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::KernelBase> make_mass3dpa() {
+  return std::make_unique<Mass3dpa>();
+}
+std::unique_ptr<core::KernelBase> make_diffusion3dpa() {
+  return std::make_unique<Diffusion3dpa>();
+}
+std::unique_ptr<core::KernelBase> make_convection3dpa() {
+  return std::make_unique<Convection3dpa>();
+}
+std::unique_ptr<core::KernelBase> make_del_dot_vec_2d() {
+  return std::make_unique<DelDotVec2d>();
+}
+std::unique_ptr<core::KernelBase> make_energy() {
+  return std::make_unique<Energy>();
+}
+std::unique_ptr<core::KernelBase> make_fir() {
+  return std::make_unique<Fir>();
+}
+std::unique_ptr<core::KernelBase> make_halo_packing() {
+  return std::make_unique<HaloPacking>();
+}
+std::unique_ptr<core::KernelBase> make_halo_unpacking() {
+  return std::make_unique<HaloUnpacking>();
+}
+
+}  // namespace sgp::kernels::apps

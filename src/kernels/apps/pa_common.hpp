@@ -1,0 +1,118 @@
+// Shared machinery for the 3D partial-assembly FEM kernels
+// (MASS3DPA, DIFFUSION3DPA, CONVECTION3DPA): sum-factorised tensor
+// contractions of element DOFs to quadrature points and back.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace sgp::kernels::apps::pa {
+
+constexpr std::size_t kD = 4;  ///< dofs per dimension (Q3 elements)
+constexpr std::size_t kQ = 5;  ///< quadrature points per dimension
+
+constexpr std::size_t dofs_per_elem() { return kD * kD * kD; }
+constexpr std::size_t quads_per_elem() { return kQ * kQ * kQ; }
+
+/// Interpolation matrix B[q][d] (deterministic, well-conditioned).
+template <class Real>
+std::array<Real, kQ * kD> basis(double scale) {
+  std::array<Real, kQ * kD> b{};
+  for (std::size_t q = 0; q < kQ; ++q) {
+    for (std::size_t d = 0; d < kD; ++d) {
+      const double x =
+          0.1 + scale * static_cast<double>(q + 1) /
+                    static_cast<double>((d + 2) * (kQ + kD));
+      b[q * kD + d] = static_cast<Real>(x);
+    }
+  }
+  return b;
+}
+
+/// Sum-factorised contraction: X[kD]^3 dofs -> U[kQ]^3 values using
+/// B (and then the reverse with Bt). Writing it out keeps the flop
+/// pattern of the real MFEM kernels without their full index zoo.
+template <class Real>
+void interp_to_quads(const Real* x, const Real* b, Real* u) {
+  // Stage 1: contract the innermost dof dimension.
+  Real t1[kQ][kD][kD] = {};
+  for (std::size_t dz = 0; dz < kD; ++dz) {
+    for (std::size_t dy = 0; dy < kD; ++dy) {
+      for (std::size_t qx = 0; qx < kQ; ++qx) {
+        Real acc = Real(0);
+        for (std::size_t dx = 0; dx < kD; ++dx) {
+          acc += b[qx * kD + dx] * x[(dz * kD + dy) * kD + dx];
+        }
+        t1[qx][dy][dz] = acc;
+      }
+    }
+  }
+  // Stage 2: middle dimension.
+  Real t2[kQ][kQ][kD] = {};
+  for (std::size_t dz = 0; dz < kD; ++dz) {
+    for (std::size_t qy = 0; qy < kQ; ++qy) {
+      for (std::size_t qx = 0; qx < kQ; ++qx) {
+        Real acc = Real(0);
+        for (std::size_t dy = 0; dy < kD; ++dy) {
+          acc += b[qy * kD + dy] * t1[qx][dy][dz];
+        }
+        t2[qx][qy][dz] = acc;
+      }
+    }
+  }
+  // Stage 3: outer dimension.
+  for (std::size_t qz = 0; qz < kQ; ++qz) {
+    for (std::size_t qy = 0; qy < kQ; ++qy) {
+      for (std::size_t qx = 0; qx < kQ; ++qx) {
+        Real acc = Real(0);
+        for (std::size_t dz = 0; dz < kD; ++dz) {
+          acc += b[qz * kD + dz] * t2[qx][qy][dz];
+        }
+        u[(qz * kQ + qy) * kQ + qx] = acc;
+      }
+    }
+  }
+}
+
+/// Transpose contraction: quadrature values back to dofs (B^T action).
+template <class Real>
+void quads_to_dofs(const Real* u, const Real* b, Real* y) {
+  Real t1[kD][kQ][kQ] = {};
+  for (std::size_t qz = 0; qz < kQ; ++qz) {
+    for (std::size_t qy = 0; qy < kQ; ++qy) {
+      for (std::size_t dx = 0; dx < kD; ++dx) {
+        Real acc = Real(0);
+        for (std::size_t qx = 0; qx < kQ; ++qx) {
+          acc += b[qx * kD + dx] * u[(qz * kQ + qy) * kQ + qx];
+        }
+        t1[dx][qy][qz] = acc;
+      }
+    }
+  }
+  Real t2[kD][kD][kQ] = {};
+  for (std::size_t qz = 0; qz < kQ; ++qz) {
+    for (std::size_t dy = 0; dy < kD; ++dy) {
+      for (std::size_t dx = 0; dx < kD; ++dx) {
+        Real acc = Real(0);
+        for (std::size_t qy = 0; qy < kQ; ++qy) {
+          acc += b[qy * kD + dy] * t1[dx][qy][qz];
+        }
+        t2[dx][dy][qz] = acc;
+      }
+    }
+  }
+  for (std::size_t dz = 0; dz < kD; ++dz) {
+    for (std::size_t dy = 0; dy < kD; ++dy) {
+      for (std::size_t dx = 0; dx < kD; ++dx) {
+        Real acc = Real(0);
+        for (std::size_t qz = 0; qz < kQ; ++qz) {
+          acc += b[qz * kD + dz] * t2[dx][dy][qz];
+        }
+        y[(dz * kD + dy) * kD + dx] += acc;
+      }
+    }
+  }
+}
+
+}  // namespace sgp::kernels::apps::pa

@@ -1,0 +1,28 @@
+// Basic-class kernels: foundational operations (DAXPY, reductions,
+// initialisations, small matrix multiply, pi calculations, ...).
+#pragma once
+
+#include <memory>
+
+#include "core/kernel_base.hpp"
+
+namespace sgp::kernels::basic {
+
+std::unique_ptr<core::KernelBase> make_daxpy();
+std::unique_ptr<core::KernelBase> make_daxpy_atomic();
+std::unique_ptr<core::KernelBase> make_if_quad();
+std::unique_ptr<core::KernelBase> make_indexlist();
+std::unique_ptr<core::KernelBase> make_indexlist_3loop();
+std::unique_ptr<core::KernelBase> make_init3();
+std::unique_ptr<core::KernelBase> make_init_view1d();
+std::unique_ptr<core::KernelBase> make_init_view1d_offset();
+std::unique_ptr<core::KernelBase> make_mat_mat_shared();
+std::unique_ptr<core::KernelBase> make_muladdsub();
+std::unique_ptr<core::KernelBase> make_nested_init();
+std::unique_ptr<core::KernelBase> make_pi_atomic();
+std::unique_ptr<core::KernelBase> make_pi_reduce();
+std::unique_ptr<core::KernelBase> make_reduce3_int();
+std::unique_ptr<core::KernelBase> make_reduce_struct();
+std::unique_ptr<core::KernelBase> make_trap_int();
+
+}  // namespace sgp::kernels::basic

@@ -1,0 +1,568 @@
+// Basic kernels, part 1: DAXPY variants, IF_QUAD, INDEXLIST variants and
+// the initialisation kernels.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "kernels/basic/basic.hpp"
+#include "kernels/detail/data_init.hpp"
+#include "kernels/detail/dual_precision.hpp"
+#include "kernels/detail/signature_builder.hpp"
+
+namespace sgp::kernels::basic {
+
+namespace {
+
+using core::AccessPattern;
+using core::Group;
+using core::OpMix;
+using detail::SignatureBuilder;
+
+constexpr std::size_t kN = 1'000'000;
+
+// -------------------------------------------------------------- DAXPY --
+class Daxpy final : public detail::DualPrecisionKernel<Daxpy> {
+ public:
+  Daxpy()
+      : DualPrecisionKernel(
+            SignatureBuilder("DAXPY", Group::Basic)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.ffma = 1, .loads = 2, .stores = 1})
+                .streamed(2, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y;
+    Real a = Real(0);
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x = detail::wavy<Real>(n, 1.0, 0.0017);
+    s.y = detail::ramp<Real>(n, 0.0, 1e-4);
+    s.a = Real(2.5);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    Real* y = s.y.data();
+    const Real a = s.a;
+    exec.parallel_for(s.y.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) y[i] += a * x[i];
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------- DAXPY_ATOMIC --
+// Same update expressed through atomics (distinct locations, so the
+// cost is per-op overhead rather than global serialisation).
+class DaxpyAtomic final : public detail::DualPrecisionKernel<DaxpyAtomic> {
+ public:
+  DaxpyAtomic()
+      : DualPrecisionKernel(
+            SignatureBuilder("DAXPY_ATOMIC", Group::Basic)
+                .iters(kN)
+                .reps(100)
+                .mix(OpMix{.ffma = 1, .iops = 4, .loads = 2, .stores = 1})
+                .streamed(2, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y;
+    Real a = Real(0);
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x = detail::wavy<Real>(n, 0.5, 0.0023);
+    s.y = detail::ramp<Real>(n, 0.5, 2e-4);
+    s.a = Real(1.5);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    Real* y = s.y.data();
+    const Real a = s.a;
+    exec.parallel_for(s.y.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::atomic_ref<Real> ref(y[i]);
+        ref.fetch_add(a * x[i], std::memory_order_relaxed);
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------------ IF_QUAD --
+class IfQuad final : public detail::DualPrecisionKernel<IfQuad> {
+ public:
+  IfQuad()
+      : DualPrecisionKernel(
+            SignatureBuilder("IF_QUAD", Group::Basic)
+                .iters(kN / 2)
+                .reps(100)
+                .mix(OpMix{.fadd = 2, .fmul = 3, .fdiv = 2, .fspecial = 1,
+                           .loads = 3, .stores = 2, .branches = 1})
+                .streamed(3, 2)
+                .working_set(2.5 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b, c, x1, x2;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN / 2);
+    s.a = detail::uniform<Real>(n, rp.seed + 11, 0.1, 2.0);
+    s.b = detail::uniform<Real>(n, rp.seed + 12, -5.0, 5.0);
+    s.c = detail::uniform<Real>(n, rp.seed + 13, -2.0, 2.0);
+    s.x1.assign(n, Real(0));
+    s.x2.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* a = s.a.data();
+    const Real* b = s.b.data();
+    const Real* c = s.c.data();
+    Real* x1 = s.x1.data();
+    Real* x2 = s.x2.data();
+    exec.parallel_for(s.a.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Real d = b[i] * b[i] - Real(4) * a[i] * c[i];
+        if (d >= Real(0)) {
+          const Real sq = std::sqrt(d);
+          const Real inv2a = Real(1) / (Real(2) * a[i]);
+          x1[i] = (-b[i] + sq) * inv2a;
+          x2[i] = (-b[i] - sq) * inv2a;
+        } else {
+          x1[i] = Real(0);
+          x2[i] = Real(0);
+        }
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return core::checksum(std::span<const Real>(s.x1)) +
+           core::checksum(std::span<const Real>(s.x2));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- INDEXLIST --
+// Builds the list of indices with negative values; two-pass parallel
+// compaction (count, then fill with per-chunk offsets).
+class IndexList final : public detail::DualPrecisionKernel<IndexList> {
+ public:
+  IndexList()
+      : DualPrecisionKernel(
+            SignatureBuilder("INDEXLIST", Group::Basic)
+                .iters(kN)
+                .reps(60)
+                .regions(2)
+                .seq(0.03)
+                .mix(OpMix{.fcmp = 1, .iops = 2, .loads = 1, .stores = 0.5,
+                           .branches = 1})
+                .streamed(1, 0.5)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Gather)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x;
+    std::vector<std::int64_t> list;
+    std::size_t len = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x = detail::wavy<Real>(n, 1.0, 0.0031, -0.05);
+    s.list.assign(n, -1);
+    s.len = 0;
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    std::int64_t* list = s.list.data();
+    const int chunks = exec.max_chunks();
+    std::vector<std::size_t> counts(static_cast<std::size_t>(chunks), 0);
+    std::size_t* cnt = counts.data();
+    exec.parallel_for(s.x.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        std::size_t c = 0;
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          if (x[i] < Real(0)) ++c;
+                        }
+                        cnt[chunk] = c;
+                      });
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(chunks), 0);
+    for (int c = 1; c < chunks; ++c) {
+      offsets[static_cast<std::size_t>(c)] =
+          offsets[static_cast<std::size_t>(c - 1)] +
+          counts[static_cast<std::size_t>(c - 1)];
+    }
+    const std::size_t* off = offsets.data();
+    exec.parallel_for(s.x.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        std::size_t pos = off[chunk];
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          if (x[i] < Real(0)) {
+                            list[pos++] = static_cast<std::int64_t>(i);
+                          }
+                        }
+                      });
+    s.len = offsets.back() + counts.back();
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    long double sum = static_cast<long double>(s.len);
+    const long double n = static_cast<long double>(s.list.size());
+    for (std::size_t i = 0; i < s.len; ++i) {
+      sum += static_cast<long double>(s.list[i]) / n;
+    }
+    return sum;
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------- INDEXLIST_3LOOP --
+// The same compaction expressed as three distinct parallel loops (flags,
+// scan, fill), as RAJAPerf does.
+class IndexList3Loop final
+    : public detail::DualPrecisionKernel<IndexList3Loop> {
+ public:
+  IndexList3Loop()
+      : DualPrecisionKernel(
+            SignatureBuilder("INDEXLIST_3LOOP", Group::Basic)
+                .iters(kN)
+                .reps(60)
+                .regions(3)
+                .seq(0.03)
+                .mix(OpMix{.fcmp = 1, .iops = 3, .loads = 2, .stores = 1,
+                           .branches = 1})
+                .streamed(2, 1)
+                .working_set(3.0 * kN)
+                .pattern(AccessPattern::Gather)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x;
+    std::vector<std::int64_t> flags, list;
+    std::size_t len = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x = detail::wavy<Real>(n, 1.0, 0.0019, 0.02);
+    s.flags.assign(n + 1, 0);
+    s.list.assign(n, -1);
+    s.len = 0;
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    std::int64_t* flags = s.flags.data();
+    std::int64_t* list = s.list.data();
+    const std::size_t n = s.x.size();
+    // Loop 1: flags.
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        flags[i] = x[i] < Real(0) ? 1 : 0;
+      }
+    });
+    // Loop 2: exclusive scan of flags (chunked two-phase).
+    const int chunks = exec.max_chunks();
+    std::vector<std::int64_t> sums(static_cast<std::size_t>(chunks), 0);
+    std::int64_t* cs = sums.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int chunk) {
+      std::int64_t acc = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::int64_t f = flags[i];
+        flags[i] = acc;
+        acc += f;
+      }
+      cs[chunk] = acc;
+    });
+    std::vector<std::int64_t> offs(static_cast<std::size_t>(chunks), 0);
+    for (int c = 1; c < chunks; ++c) {
+      offs[static_cast<std::size_t>(c)] =
+          offs[static_cast<std::size_t>(c - 1)] +
+          sums[static_cast<std::size_t>(c - 1)];
+    }
+    const std::int64_t* po = offs.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int chunk) {
+      for (std::size_t i = lo; i < hi; ++i) flags[i] += po[chunk];
+    });
+    const std::int64_t total = offs.back() + sums.back();
+    flags[n] = total;
+    // Loop 3: fill.
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (x[i] < Real(0)) {
+          list[flags[i]] = static_cast<std::int64_t>(i);
+        }
+      }
+    });
+    s.len = static_cast<std::size_t>(total);
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    long double sum = static_cast<long double>(s.len);
+    const long double n = static_cast<long double>(s.list.size());
+    for (std::size_t i = 0; i < s.len; ++i) {
+      sum += static_cast<long double>(s.list[i]) / n;
+    }
+    return sum;
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// -------------------------------------------------------------- INIT3 --
+class Init3 final : public detail::DualPrecisionKernel<Init3> {
+ public:
+  Init3()
+      : DualPrecisionKernel(
+            SignatureBuilder("INIT3", Group::Basic)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.fadd = 1, .loads = 2, .stores = 3})
+                .streamed(2, 3)
+                .working_set(5.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> in1, in2, out1, out2, out3;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.in1 = detail::ramp<Real>(n, 0.3, 1e-4);
+    s.in2 = detail::wavy<Real>(n, 0.7, 0.0041);
+    s.out1.assign(n, Real(0));
+    s.out2.assign(n, Real(0));
+    s.out3.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* in1 = s.in1.data();
+    const Real* in2 = s.in2.data();
+    Real* o1 = s.out1.data();
+    Real* o2 = s.out2.data();
+    Real* o3 = s.out3.data();
+    exec.parallel_for(s.in1.size(),
+                      [=](std::size_t lo, std::size_t hi, int) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          const Real v = -in1[i] - in2[i];
+                          o1[i] = v;
+                          o2[i] = v;
+                          o3[i] = v;
+                        }
+                      });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return core::checksum(std::span<const Real>(s.out1)) +
+           core::checksum(std::span<const Real>(s.out2)) +
+           core::checksum(std::span<const Real>(s.out3));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// -------------------------------------------------------- INIT_VIEW1D --
+class InitView1d final : public detail::DualPrecisionKernel<InitView1d> {
+ public:
+  InitView1d()
+      : DualPrecisionKernel(
+            SignatureBuilder("INIT_VIEW1D", Group::Basic)
+                .iters(kN)
+                .reps(200)
+                .mix(OpMix{.fmul = 1, .iops = 1, .stores = 1})
+                .streamed(0, 1)
+                .working_set(kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    st_.get<Real>().x.assign(rp.scaled(kN), Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    Real* x = s.x.data();
+    const Real v = Real(0.00000123);
+    exec.parallel_for(s.x.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        x[i] = static_cast<Real>(i + 1) * v;
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().x));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------- INIT_VIEW1D_OFFSET --
+class InitView1dOffset final
+    : public detail::DualPrecisionKernel<InitView1dOffset> {
+ public:
+  InitView1dOffset()
+      : DualPrecisionKernel(
+            SignatureBuilder("INIT_VIEW1D_OFFSET", Group::Basic)
+                .iters(kN)
+                .reps(200)
+                .mix(OpMix{.fmul = 1, .iops = 2, .stores = 1})
+                .streamed(0, 1)
+                .working_set(kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    st_.get<Real>().x.assign(rp.scaled(kN), Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    Real* x = s.x.data();
+    const Real v = Real(0.00000456);
+    // Offset view: logical indices run 1..n, storage 0..n-1.
+    exec.parallel_for(s.x.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        x[i] = static_cast<Real>(i + 1) * v;
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().x));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::KernelBase> make_daxpy() {
+  return std::make_unique<Daxpy>();
+}
+std::unique_ptr<core::KernelBase> make_daxpy_atomic() {
+  return std::make_unique<DaxpyAtomic>();
+}
+std::unique_ptr<core::KernelBase> make_if_quad() {
+  return std::make_unique<IfQuad>();
+}
+std::unique_ptr<core::KernelBase> make_indexlist() {
+  return std::make_unique<IndexList>();
+}
+std::unique_ptr<core::KernelBase> make_indexlist_3loop() {
+  return std::make_unique<IndexList3Loop>();
+}
+std::unique_ptr<core::KernelBase> make_init3() {
+  return std::make_unique<Init3>();
+}
+std::unique_ptr<core::KernelBase> make_init_view1d() {
+  return std::make_unique<InitView1d>();
+}
+std::unique_ptr<core::KernelBase> make_init_view1d_offset() {
+  return std::make_unique<InitView1dOffset>();
+}
+
+}  // namespace sgp::kernels::basic

@@ -1,0 +1,602 @@
+// Basic kernels, part 2: shared-tile matrix multiply, MULADDSUB,
+// NESTED_INIT, the pi kernels and the reductions.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "kernels/basic/basic.hpp"
+#include "kernels/detail/data_init.hpp"
+#include "kernels/detail/dual_precision.hpp"
+#include "kernels/detail/signature_builder.hpp"
+
+namespace sgp::kernels::basic {
+
+namespace {
+
+using core::AccessPattern;
+using core::Group;
+using core::OpMix;
+using detail::SignatureBuilder;
+
+constexpr std::size_t kN = 1'000'000;
+
+// ----------------------------------------------------- MAT_MAT_SHARED --
+// Tiled matrix multiply (RAJAPerf's shared-memory GEMM analogue).
+class MatMatShared final : public detail::DualPrecisionKernel<MatMatShared> {
+ public:
+  static constexpr std::size_t kDim = 128;
+  static constexpr std::size_t kTile = 16;
+
+  MatMatShared()
+      : DualPrecisionKernel(
+            SignatureBuilder("MAT_MAT_SHARED", Group::Basic)
+                .iters(static_cast<double>(kDim) * kDim * kDim)
+                .reps(20)
+                .mix(OpMix{.ffma = 1, .iops = 1, .loads = 2, .stores = 0.01})
+                .streamed(0.02, 0.01)  // tiles stay cache resident
+                .working_set(3.0 * kDim * kDim)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b, c;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kDim, kTile);
+    const std::size_t nn = s.n * s.n;
+    s.a = detail::wavy<Real>(nn, 1.0, 0.01);
+    s.b = detail::ramp<Real>(nn, -0.5, 2.0 / static_cast<double>(nn));
+    s.c.assign(nn, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const Real* a = s.a.data();
+    const Real* b = s.b.data();
+    Real* c = s.c.data();
+    const std::size_t row_tiles = (n + kTile - 1) / kTile;
+    exec.parallel_for(row_tiles, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t bt = lo; bt < hi; ++bt) {
+        const std::size_t i0 = bt * kTile;
+        const std::size_t i1 = std::min(i0 + kTile, n);
+        for (std::size_t k0 = 0; k0 < n; k0 += kTile) {
+          const std::size_t k1 = std::min(k0 + kTile, n);
+          for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+            const std::size_t j1 = std::min(j0 + kTile, n);
+            for (std::size_t i = i0; i < i1; ++i) {
+              for (std::size_t k = k0; k < k1; ++k) {
+                const Real aik = a[i * n + k];
+                for (std::size_t j = j0; j < j1; ++j) {
+                  c[i * n + j] += aik * b[k * n + j];
+                }
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().c));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- MULADDSUB --
+class MulAddSub final : public detail::DualPrecisionKernel<MulAddSub> {
+ public:
+  MulAddSub()
+      : DualPrecisionKernel(
+            SignatureBuilder("MULADDSUB", Group::Basic)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.fadd = 2, .fmul = 1, .loads = 2, .stores = 3})
+                .streamed(2, 3)
+                .working_set(5.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> in1, in2, out1, out2, out3;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.in1 = detail::wavy<Real>(n, 1.2, 0.0012, 0.3);
+    s.in2 = detail::ramp<Real>(n, 0.1, 5e-5);
+    s.out1.assign(n, Real(0));
+    s.out2.assign(n, Real(0));
+    s.out3.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* in1 = s.in1.data();
+    const Real* in2 = s.in2.data();
+    Real* o1 = s.out1.data();
+    Real* o2 = s.out2.data();
+    Real* o3 = s.out3.data();
+    exec.parallel_for(s.in1.size(),
+                      [=](std::size_t lo, std::size_t hi, int) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          o1[i] = in1[i] * in2[i];
+                          o2[i] = in1[i] + in2[i];
+                          o3[i] = in1[i] - in2[i];
+                        }
+                      });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return core::checksum(std::span<const Real>(s.out1)) +
+           core::checksum(std::span<const Real>(s.out2)) +
+           core::checksum(std::span<const Real>(s.out3));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// -------------------------------------------------------- NESTED_INIT --
+class NestedInit final : public detail::DualPrecisionKernel<NestedInit> {
+ public:
+  static constexpr std::size_t kDim = 100;
+
+  NestedInit()
+      : DualPrecisionKernel(
+            SignatureBuilder("NESTED_INIT", Group::Basic)
+                .iters(static_cast<double>(kDim) * kDim * kDim)
+                .reps(100)
+                .mix(OpMix{.iops = 4, .stores = 1})
+                .streamed(0, 1)
+                .working_set(static_cast<double>(kDim) * kDim * kDim)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> array;
+    std::size_t ni = 0, nj = 0, nk = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.ni = s.nj = s.nk = rp.scaled(kDim, 4);
+    s.array.assign(s.ni * s.nj * s.nk, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    Real* array = s.array.data();
+    const std::size_t ni = s.ni, nj = s.nj;
+    exec.parallel_for(s.nk, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        for (std::size_t j = 0; j < nj; ++j) {
+          for (std::size_t i = 0; i < ni; ++i) {
+            array[i + ni * (j + nj * k)] =
+                Real(1e-8) * static_cast<Real>(i * j * k);
+          }
+        }
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().array));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- PI_ATOMIC --
+// Atomic accumulation into a single shared location: the pathological
+// contended-atomic kernel.
+class PiAtomic final : public detail::DualPrecisionKernel<PiAtomic> {
+ public:
+  static constexpr std::size_t kIters = 200'000;
+
+  PiAtomic()
+      : DualPrecisionKernel(
+            SignatureBuilder("PI_ATOMIC", Group::Basic)
+                .iters(kIters)
+                .reps(50)
+                .mix(OpMix{.fadd = 1, .fmul = 2, .fdiv = 1, .iops = 2})
+                .streamed(0, 0.001)
+                .working_set(64)  // a single cache line
+                .pattern(AccessPattern::Reduction)
+                .atomic()
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    Real pi = Real(0);
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kIters);
+    s.pi = Real(0);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    s.pi = Real(0);
+    Real* pi = &s.pi;
+    const Real dx = Real(1.0) / static_cast<Real>(s.n);
+    exec.parallel_for(s.n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Real x = (static_cast<Real>(i) + Real(0.5)) * dx;
+        const Real term = dx / (Real(1) + x * x);
+        std::atomic_ref<Real> ref(*pi);
+        ref.fetch_add(term, std::memory_order_relaxed);
+      }
+    });
+    s.pi *= Real(4);
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return static_cast<long double>(st_.get<Real>().pi);
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- PI_REDUCE --
+class PiReduce final : public detail::DualPrecisionKernel<PiReduce> {
+ public:
+  static constexpr std::size_t kIters = 200'000;
+
+  PiReduce()
+      : DualPrecisionKernel(
+            SignatureBuilder("PI_REDUCE", Group::Basic)
+                .iters(kIters)
+                .reps(100)
+                .mix(OpMix{.fadd = 1, .fmul = 2, .fdiv = 1, .iops = 1})
+                .streamed(0, 0)
+                .working_set(64)
+                .pattern(AccessPattern::Reduction)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    Real pi = Real(0);
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kIters);
+    s.pi = Real(0);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real dx = Real(1.0) / static_cast<Real>(s.n);
+    std::vector<double> partial(
+        static_cast<std::size_t>(exec.max_chunks()), 0.0);
+    double* part = partial.data();
+    exec.parallel_for(s.n, [=](std::size_t lo, std::size_t hi, int chunk) {
+      double sum = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double x = (static_cast<double>(i) + 0.5) * dx;
+        sum += dx / (1.0 + x * x);
+      }
+      part[chunk] = sum;
+    });
+    double total = 0.0;
+    for (double v : partial) total += v;
+    s.pi = static_cast<Real>(4.0 * total);
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return static_cast<long double>(st_.get<Real>().pi);
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// --------------------------------------------------------- REDUCE3_INT --
+// Sum/min/max over an integer array (the kernel that lifts the basic
+// class's FP64 vectorisation average, since INT64 lanes are supported).
+class Reduce3Int final : public detail::DualPrecisionKernel<Reduce3Int> {
+ public:
+  Reduce3Int()
+      : DualPrecisionKernel(
+            SignatureBuilder("REDUCE3_INT", Group::Basic)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.iops = 3, .loads = 1})
+                .streamed(1, 0)
+                .working_set(kN)
+                .pattern(AccessPattern::Reduction)
+                .integer()
+                .build()) {}
+
+  // Real is ignored for data (the kernel is integral), but kept so the
+  // suite can run it at "both precisions" exactly as RAJAPerf does.
+  template <class Real>
+  struct State {
+    std::vector<std::int64_t> x;
+    std::int64_t sum = 0, vmin = 0, vmax = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.x[i] = static_cast<std::int64_t>((i * 2654435761u) % 20011) - 10005;
+    }
+    s.sum = s.vmin = s.vmax = 0;
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::int64_t* x = s.x.data();
+    const int chunks = exec.max_chunks();
+    std::vector<std::int64_t> psum(static_cast<std::size_t>(chunks), 0);
+    std::vector<std::int64_t> pmin(
+        static_cast<std::size_t>(chunks),
+        std::numeric_limits<std::int64_t>::max());
+    std::vector<std::int64_t> pmax(
+        static_cast<std::size_t>(chunks),
+        std::numeric_limits<std::int64_t>::min());
+    auto* ps = psum.data();
+    auto* pn = pmin.data();
+    auto* px = pmax.data();
+    exec.parallel_for(s.x.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        std::int64_t sum = 0;
+                        std::int64_t mn =
+                            std::numeric_limits<std::int64_t>::max();
+                        std::int64_t mx =
+                            std::numeric_limits<std::int64_t>::min();
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          sum += x[i];
+                          mn = std::min(mn, x[i]);
+                          mx = std::max(mx, x[i]);
+                        }
+                        ps[chunk] = sum;
+                        pn[chunk] = mn;
+                        px[chunk] = mx;
+                      });
+    s.sum = 0;
+    s.vmin = std::numeric_limits<std::int64_t>::max();
+    s.vmax = std::numeric_limits<std::int64_t>::min();
+    for (int c = 0; c < chunks; ++c) {
+      s.sum += psum[static_cast<std::size_t>(c)];
+      s.vmin = std::min(s.vmin, pmin[static_cast<std::size_t>(c)]);
+      s.vmax = std::max(s.vmax, pmax[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return static_cast<long double>(s.sum) +
+           static_cast<long double>(s.vmin) * 0.5L +
+           static_cast<long double>(s.vmax) * 0.25L;
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------ REDUCE_STRUCT --
+// Centroid + bounds of a particle set: six simultaneous reductions over
+// two arrays.
+class ReduceStruct final : public detail::DualPrecisionKernel<ReduceStruct> {
+ public:
+  ReduceStruct()
+      : DualPrecisionKernel(
+            SignatureBuilder("REDUCE_STRUCT", Group::Basic)
+                .iters(kN)
+                .reps(100)
+                .mix(OpMix{.fadd = 2, .fcmp = 4, .loads = 2})
+                .streamed(2, 0)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Reduction)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y;
+    Real xsum = 0, xmin = 0, xmax = 0, ysum = 0, ymin = 0, ymax = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x = detail::wavy<Real>(n, 3.0, 0.0007, 1.0);
+    s.y = detail::wavy<Real>(n, 2.0, 0.0011, -0.5);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    const Real* y = s.y.data();
+    const int chunks = exec.max_chunks();
+    struct Partial {
+      double xs = 0, ys = 0;
+      double xn = std::numeric_limits<double>::max();
+      double xx = std::numeric_limits<double>::lowest();
+      double yn = std::numeric_limits<double>::max();
+      double yx = std::numeric_limits<double>::lowest();
+    };
+    std::vector<Partial> partial(static_cast<std::size_t>(chunks));
+    Partial* part = partial.data();
+    exec.parallel_for(s.x.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        Partial p;
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          p.xs += x[i];
+                          p.ys += y[i];
+                          p.xn = std::min(p.xn, static_cast<double>(x[i]));
+                          p.xx = std::max(p.xx, static_cast<double>(x[i]));
+                          p.yn = std::min(p.yn, static_cast<double>(y[i]));
+                          p.yx = std::max(p.yx, static_cast<double>(y[i]));
+                        }
+                        part[chunk] = p;
+                      });
+    Partial tot;
+    for (const auto& p : partial) {
+      tot.xs += p.xs;
+      tot.ys += p.ys;
+      tot.xn = std::min(tot.xn, p.xn);
+      tot.xx = std::max(tot.xx, p.xx);
+      tot.yn = std::min(tot.yn, p.yn);
+      tot.yx = std::max(tot.yx, p.yx);
+    }
+    const double n = static_cast<double>(s.x.size());
+    s.xsum = static_cast<Real>(tot.xs / n);
+    s.ysum = static_cast<Real>(tot.ys / n);
+    s.xmin = static_cast<Real>(tot.xn);
+    s.xmax = static_cast<Real>(tot.xx);
+    s.ymin = static_cast<Real>(tot.yn);
+    s.ymax = static_cast<Real>(tot.yx);
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return static_cast<long double>(s.xsum) + s.xmin + s.xmax +
+           static_cast<long double>(s.ysum) + s.ymin + s.ymax;
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ----------------------------------------------------------- TRAP_INT --
+class TrapInt final : public detail::DualPrecisionKernel<TrapInt> {
+ public:
+  static constexpr std::size_t kIters = 500'000;
+
+  TrapInt()
+      : DualPrecisionKernel(
+            SignatureBuilder("TRAP_INT", Group::Basic)
+                .iters(kIters)
+                .reps(80)
+                .mix(OpMix{.fadd = 3, .fmul = 3, .fdiv = 1, .iops = 1})
+                .streamed(0, 0)
+                .working_set(64)
+                .pattern(AccessPattern::Reduction)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    Real sumx = Real(0);
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kIters);
+    s.sumx = Real(0);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const double x0 = 0.1, xp = 0.7, y = 0.3, yp = 0.4;
+    const double h = (xp - x0) / static_cast<double>(s.n);
+    std::vector<double> partial(
+        static_cast<std::size_t>(exec.max_chunks()), 0.0);
+    double* part = partial.data();
+    exec.parallel_for(s.n, [=](std::size_t lo, std::size_t hi, int chunk) {
+      double sum = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double x = x0 + (static_cast<double>(i) + 0.5) * h;
+        const double denom = (x - y) * (x - y) + (x - yp) * (x - yp);
+        sum += x / denom;  // RAJAPerf's trap_int_func shape
+      }
+      part[chunk] = sum;
+    });
+    double total = 0.0;
+    for (double v : partial) total += v;
+    s.sumx = static_cast<Real>(total * h);
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return static_cast<long double>(st_.get<Real>().sumx);
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::KernelBase> make_mat_mat_shared() {
+  return std::make_unique<MatMatShared>();
+}
+std::unique_ptr<core::KernelBase> make_muladdsub() {
+  return std::make_unique<MulAddSub>();
+}
+std::unique_ptr<core::KernelBase> make_nested_init() {
+  return std::make_unique<NestedInit>();
+}
+std::unique_ptr<core::KernelBase> make_pi_atomic() {
+  return std::make_unique<PiAtomic>();
+}
+std::unique_ptr<core::KernelBase> make_pi_reduce() {
+  return std::make_unique<PiReduce>();
+}
+std::unique_ptr<core::KernelBase> make_reduce3_int() {
+  return std::make_unique<Reduce3Int>();
+}
+std::unique_ptr<core::KernelBase> make_reduce_struct() {
+  return std::make_unique<ReduceStruct>();
+}
+std::unique_ptr<core::KernelBase> make_trap_int() {
+  return std::make_unique<TrapInt>();
+}
+
+}  // namespace sgp::kernels::basic

@@ -1,0 +1,61 @@
+// Deterministic data initialisation shared by kernels (RAJAPerf-style
+// reproducible fills).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace sgp::kernels::detail {
+
+/// v[i] = base + i * step (a ramp; detects permutation bugs well).
+template <class Real>
+std::vector<Real> ramp(std::size_t n, double base = 0.0,
+                       double step = 1e-4) {
+  std::vector<Real> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<Real>(base + step * static_cast<double>(i));
+  }
+  return v;
+}
+
+/// v[i] = amplitude * sin(i * freq) + offset (bounded, sign-varying).
+template <class Real>
+std::vector<Real> wavy(std::size_t n, double amplitude = 1.0,
+                       double freq = 0.001, double offset = 0.0) {
+  std::vector<Real> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<Real>(
+        amplitude * std::sin(freq * static_cast<double>(i)) + offset);
+  }
+  return v;
+}
+
+template <class Real>
+std::vector<Real> constant(std::size_t n, double value) {
+  return std::vector<Real>(n, static_cast<Real>(value));
+}
+
+/// Uniform values in [lo, hi), deterministic for a fixed seed.
+template <class Real>
+std::vector<Real> uniform(std::size_t n, unsigned seed, double lo = 0.0,
+                          double hi = 1.0) {
+  std::vector<Real> v(n);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (auto& x : v) x = static_cast<Real>(dist(rng));
+  return v;
+}
+
+/// A random permutation of 0..n-1, deterministic for a fixed seed.
+inline std::vector<std::size_t> permutation(std::size_t n, unsigned seed) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::mt19937 rng(seed);
+  std::shuffle(idx.begin(), idx.end(), rng);
+  return idx;
+}
+
+}  // namespace sgp::kernels::detail

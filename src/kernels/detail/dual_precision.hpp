@@ -1,0 +1,76 @@
+// CRTP helper removing the FP32/FP64 dispatch boilerplate from kernels.
+// A derived kernel provides:
+//   template <class Real> void init(const core::RunParams&);
+//   template <class Real> void run(core::Executor&);
+//   template <class Real> long double cksum() const;
+//   void reset();
+#pragma once
+
+#include "core/kernel_base.hpp"
+
+namespace sgp::kernels::detail {
+
+template <class Derived>
+class DualPrecisionKernel : public core::KernelBase {
+ public:
+  explicit DualPrecisionKernel(core::KernelSignature sig)
+      : core::KernelBase(std::move(sig)) {}
+
+  void set_up(core::Precision p, const core::RunParams& rp) final {
+    if (p == core::Precision::FP32) {
+      d().template init<float>(rp);
+    } else {
+      d().template init<double>(rp);
+    }
+  }
+
+  void run_rep(core::Precision p, core::Executor& exec) final {
+    if (p == core::Precision::FP32) {
+      d().template run<float>(exec);
+    } else {
+      d().template run<double>(exec);
+    }
+  }
+
+  long double compute_checksum(core::Precision p) const final {
+    return p == core::Precision::FP32 ? dc().template cksum<float>()
+                                      : dc().template cksum<double>();
+  }
+
+  void tear_down() final { d().reset(); }
+
+ private:
+  Derived& d() { return static_cast<Derived&>(*this); }
+  const Derived& dc() const { return static_cast<const Derived&>(*this); }
+};
+
+/// Holds the per-precision state of a kernel; Real is float or double.
+/// Select with state<Real>() inside the kernel.
+template <template <class> class StateT>
+struct StatePair {
+  StateT<float> f32;
+  StateT<double> f64;
+
+  template <class Real>
+  StateT<Real>& get() {
+    if constexpr (std::is_same_v<Real, float>) {
+      return f32;
+    } else {
+      return f64;
+    }
+  }
+  template <class Real>
+  const StateT<Real>& get() const {
+    if constexpr (std::is_same_v<Real, float>) {
+      return f32;
+    } else {
+      return f64;
+    }
+  }
+  void reset() {
+    f32 = StateT<float>{};
+    f64 = StateT<double>{};
+  }
+};
+
+}  // namespace sgp::kernels::detail

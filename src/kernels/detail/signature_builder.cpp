@@ -1,0 +1,23 @@
+#include "kernels/detail/signature_builder.hpp"
+
+#include <stdexcept>
+
+#include "kernels/vector_facts.hpp"
+
+namespace sgp::kernels::detail {
+
+core::KernelSignature SignatureBuilder::build() const {
+  core::KernelSignature sig = sig_;
+  if (sig.iters_per_rep <= 0.0) {
+    throw std::invalid_argument("SignatureBuilder: " + sig.name +
+                                " has no iteration count");
+  }
+  if (sig.working_set_elems <= 0.0) {
+    throw std::invalid_argument("SignatureBuilder: " + sig.name +
+                                " has no working set");
+  }
+  apply_vectorization_facts(sig);
+  return sig;
+}
+
+}  // namespace sgp::kernels::detail

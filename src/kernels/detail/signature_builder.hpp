@@ -1,0 +1,51 @@
+// Fluent builder keeping per-kernel signature definitions compact and
+// readable.
+#pragma once
+
+#include <string>
+
+#include "core/signature.hpp"
+
+namespace sgp::kernels::detail {
+
+class SignatureBuilder {
+ public:
+  SignatureBuilder(std::string name, core::Group group) {
+    sig_.name = std::move(name);
+    sig_.group = group;
+  }
+
+  SignatureBuilder& iters(double v) { sig_.iters_per_rep = v; return *this; }
+  SignatureBuilder& reps(double v) { sig_.reps = v; return *this; }
+  SignatureBuilder& regions(double v) {
+    sig_.parallel_regions_per_rep = v;
+    return *this;
+  }
+  SignatureBuilder& seq(double v) { sig_.seq_fraction = v; return *this; }
+  SignatureBuilder& mix(core::OpMix m) { sig_.mix = m; return *this; }
+  SignatureBuilder& streamed(double reads, double writes) {
+    sig_.streamed_reads_per_iter = reads;
+    sig_.streamed_writes_per_iter = writes;
+    return *this;
+  }
+  SignatureBuilder& working_set(double elems) {
+    sig_.working_set_elems = elems;
+    return *this;
+  }
+  SignatureBuilder& pattern(core::AccessPattern p) {
+    sig_.pattern = p;
+    return *this;
+  }
+  SignatureBuilder& integer() { sig_.integer_dominated = true; return *this; }
+  SignatureBuilder& atomic() { sig_.atomic = true; return *this; }
+  SignatureBuilder& recurrence() { sig_.recurrence = true; return *this; }
+
+  /// Finalises; vectorisation facts are applied from the central table
+  /// (kernels/vector_facts.cpp).
+  core::KernelSignature build() const;
+
+ private:
+  core::KernelSignature sig_;
+};
+
+}  // namespace sgp::kernels::detail

@@ -1,0 +1,774 @@
+#include "kernels/lcals/lcals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "kernels/detail/data_init.hpp"
+#include "kernels/detail/dual_precision.hpp"
+#include "kernels/detail/signature_builder.hpp"
+
+namespace sgp::kernels::lcals {
+
+namespace {
+
+using core::AccessPattern;
+using core::Group;
+using core::OpMix;
+using detail::SignatureBuilder;
+
+constexpr std::size_t kN = 500'000;
+
+// ------------------------------------------------------- DIFF_PREDICT --
+// Order-10 difference predictor chain (Livermore loop 12 family).
+class DiffPredict final : public detail::DualPrecisionKernel<DiffPredict> {
+ public:
+  static constexpr std::size_t kOrder = 10;
+
+  DiffPredict()
+      : DualPrecisionKernel(
+            SignatureBuilder("DIFF_PREDICT", Group::Lcals)
+                .iters(kN)
+                .reps(100)
+                .mix(OpMix{.fadd = 9, .loads = 11, .stores = 10})
+                .streamed(11, 10)
+                .working_set(21.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> px;  // kOrder+3 planes of n
+    std::vector<Real> cx;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kN);
+    s.px = detail::wavy<Real>((kOrder + 3) * s.n, 0.5, 0.0008, 0.2);
+    s.cx = detail::wavy<Real>(s.n, 1.0, 0.0013, 0.4);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    Real* px = s.px.data();
+    const Real* cx = s.cx.data();
+    const std::size_t n = s.n;
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Real ar = cx[i];
+        Real br = Real(0), cr = Real(0);
+        for (std::size_t k = 0; k < kOrder; ++k) {
+          br = ar - px[k * n + i];
+          px[k * n + i] = ar;
+          cr = br - px[(k + 1) * n + i];
+          px[(k + 1) * n + i] = br;
+          ar = cr - px[(k + 2) * n + i];
+          px[(k + 2) * n + i] = cr;
+          ++k;  // the classic loop advances by 2 planes per stage
+        }
+        px[(kOrder + 2) * n + i] = ar;
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().px));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------------- EOS --
+class Eos final : public detail::DualPrecisionKernel<Eos> {
+ public:
+  Eos()
+      : DualPrecisionKernel(
+            SignatureBuilder("EOS", Group::Lcals)
+                .iters(kN)
+                .reps(120)
+                .mix(OpMix{.fmul = 1, .ffma = 4, .loads = 3, .stores = 1})
+                .streamed(3, 1)
+                .working_set(4.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y, z, u;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.y = detail::wavy<Real>(n, 0.4, 0.0009, 0.6);
+    s.z = detail::wavy<Real>(n, 0.3, 0.0017, 0.5);
+    s.u = detail::ramp<Real>(n, 0.2, 3e-6);
+    s.x.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real q = Real(0.5), r = Real(0.3), t = Real(0.2);
+    const Real* y = s.y.data();
+    const Real* z = s.z.data();
+    const Real* u = s.u.data();
+    Real* x = s.x.data();
+    exec.parallel_for(s.x.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        x[i] = u[i] + r * (z[i] + r * y[i]) +
+               t * (u[i] + r * (u[i] + r * u[i]) + q * y[i]);
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().x));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// --------------------------------------------------------- FIRST_DIFF --
+class FirstDiff final : public detail::DualPrecisionKernel<FirstDiff> {
+ public:
+  FirstDiff()
+      : DualPrecisionKernel(
+            SignatureBuilder("FIRST_DIFF", Group::Lcals)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.fadd = 1, .loads = 2, .stores = 1})
+                .streamed(1, 1)  // y[i+1] reuses the previous line
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Stencil1D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.y = detail::wavy<Real>(n + 1, 1.0, 0.0027);
+    s.x.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* y = s.y.data();
+    Real* x = s.x.data();
+    exec.parallel_for(s.x.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) x[i] = y[i + 1] - y[i];
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().x));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- FIRST_MIN --
+// Minimum value and its first location (min-loc reduction).
+class FirstMin final : public detail::DualPrecisionKernel<FirstMin> {
+ public:
+  FirstMin()
+      : DualPrecisionKernel(
+            SignatureBuilder("FIRST_MIN", Group::Lcals)
+                .iters(kN)
+                .reps(120)
+                .mix(OpMix{.fcmp = 1, .iops = 1, .loads = 1, .branches = 1})
+                .streamed(1, 0)
+                .working_set(kN)
+                .pattern(AccessPattern::Reduction)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x;
+    Real minval = Real(0);
+    std::size_t minloc = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.x = detail::wavy<Real>(n, 1.0, 0.00037, 0.5);
+    s.x[n / 3] = Real(-10);  // a unique minimum
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* x = s.x.data();
+    const int chunks = exec.max_chunks();
+    std::vector<Real> pmin(static_cast<std::size_t>(chunks),
+                           std::numeric_limits<Real>::max());
+    std::vector<std::size_t> ploc(static_cast<std::size_t>(chunks), 0);
+    Real* pm = pmin.data();
+    std::size_t* pl = ploc.data();
+    exec.parallel_for(s.x.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        Real mn = std::numeric_limits<Real>::max();
+                        std::size_t loc = lo;
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          if (x[i] < mn) {
+                            mn = x[i];
+                            loc = i;
+                          }
+                        }
+                        pm[chunk] = mn;
+                        pl[chunk] = loc;
+                      });
+    s.minval = std::numeric_limits<Real>::max();
+    s.minloc = 0;
+    for (int c = 0; c < chunks; ++c) {
+      if (pmin[static_cast<std::size_t>(c)] < s.minval) {
+        s.minval = pmin[static_cast<std::size_t>(c)];
+        s.minloc = ploc[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return static_cast<long double>(s.minval) +
+           static_cast<long double>(s.minloc);
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- FIRST_SUM --
+class FirstSum final : public detail::DualPrecisionKernel<FirstSum> {
+ public:
+  FirstSum()
+      : DualPrecisionKernel(
+            SignatureBuilder("FIRST_SUM", Group::Lcals)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.fadd = 1, .loads = 2, .stores = 1})
+                .streamed(1, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Stencil1D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.y = detail::wavy<Real>(n, 1.0, 0.0021, 0.1);
+    s.x.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* y = s.y.data();
+    Real* x = s.x.data();
+    x[0] = y[0] + y[0];
+    exec.parallel_for(s.x.size() - 1,
+                      [=](std::size_t lo, std::size_t hi, int) {
+                        for (std::size_t j = lo; j < hi; ++j) {
+                          const std::size_t i = j + 1;
+                          x[i] = y[i - 1] + y[i];
+                        }
+                      });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().x));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------ GEN_LIN_RECUR --
+// General linear recurrence (Livermore loop 6 family): two sweeps with a
+// short dependence chain inside each iteration.
+class GenLinRecur final : public detail::DualPrecisionKernel<GenLinRecur> {
+ public:
+  GenLinRecur()
+      : DualPrecisionKernel(
+            SignatureBuilder("GEN_LIN_RECUR", Group::Lcals)
+                .iters(kN)
+                .reps(80)
+                .regions(2)
+                .mix(OpMix{.ffma = 2, .loads = 4, .stores = 1})
+                .streamed(4, 1)
+                .working_set(4.0 * kN)
+                .pattern(AccessPattern::Sequential)
+                .recurrence()
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> b5, sa, sb, stb5;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kN);
+    s.b5 = detail::wavy<Real>(s.n, 0.1, 0.0033, 0.05);
+    s.sa = detail::wavy<Real>(s.n, 0.2, 0.0013, 0.3);
+    s.sb = detail::wavy<Real>(s.n, 0.2, 0.0029, 0.3);
+    s.stb5 = detail::constant<Real>(s.n, 0.01);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    Real* b5 = s.b5.data();
+    const Real* sa = s.sa.data();
+    const Real* sb = s.sb.data();
+    Real* stb5 = s.stb5.data();
+    const std::size_t n = s.n;
+    // Sweep 1 (forward): stb5 chain is chunk-local (RAJAPerf's OpenMP
+    // version privatises it the same way).
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      Real t = stb5[lo];
+      for (std::size_t k = lo; k < hi; ++k) {
+        b5[k] = sa[k] + t * sb[k];
+        t = b5[k] - t;
+        stb5[k] = t;
+      }
+    });
+    // Sweep 2 (backward).
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      Real t = stb5[hi - 1];
+      for (std::size_t k = hi; k-- > lo;) {
+        b5[k] = sa[k] + t * sb[k];
+        t = b5[k] - t;
+        stb5[k] = t;
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().b5));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ----------------------------------------------------------- HYDRO_1D --
+class Hydro1d final : public detail::DualPrecisionKernel<Hydro1d> {
+ public:
+  Hydro1d()
+      : DualPrecisionKernel(
+            SignatureBuilder("HYDRO_1D", Group::Lcals)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.fmul = 1, .ffma = 2, .loads = 3, .stores = 1})
+                .streamed(2, 1)
+                .working_set(3.0 * kN)
+                .pattern(AccessPattern::Stencil1D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y, z;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.y = detail::wavy<Real>(n, 0.5, 0.0019, 0.2);
+    s.z = detail::wavy<Real>(n + 12, 0.4, 0.0007, 0.3);
+    s.x.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real q = Real(0.5), r = Real(0.3), t = Real(0.2);
+    const Real* y = s.y.data();
+    const Real* z = s.z.data();
+    Real* x = s.x.data();
+    exec.parallel_for(s.x.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        x[i] = q + y[i] * (r * z[i + 10] + t * z[i + 11]);
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().x));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ----------------------------------------------------------- HYDRO_2D --
+// Three coupled 2D sweeps (Livermore loop 18).
+class Hydro2d final : public detail::DualPrecisionKernel<Hydro2d> {
+ public:
+  static constexpr std::size_t kJn = 1000;
+  static constexpr std::size_t kKn = 1000;
+
+  Hydro2d()
+      : DualPrecisionKernel(
+            SignatureBuilder("HYDRO_2D", Group::Lcals)
+                .iters(static_cast<double>(kJn) * kKn)
+                .reps(30)
+                .regions(3)
+                .mix(OpMix{.fadd = 8, .fmul = 6, .fdiv = 0.3, .loads = 10,
+                           .stores = 2})
+                .streamed(6, 2)
+                .working_set(8.0 * kJn * kKn)
+                .pattern(AccessPattern::Stencil2D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> za, zb, zm, zp, zq, zr, zu, zv, zz;
+    std::size_t jn = 0, kn = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.jn = rp.scaled(kJn, 8);
+    s.kn = rp.scaled(kKn, 8);
+    const std::size_t nn = s.jn * s.kn;
+    s.zp = detail::wavy<Real>(nn, 0.3, 0.0011, 0.5);
+    s.zq = detail::wavy<Real>(nn, 0.3, 0.0007, 0.4);
+    s.zr = detail::wavy<Real>(nn, 0.3, 0.0023, 0.6);
+    s.zm = detail::wavy<Real>(nn, 0.3, 0.0005, 0.7);
+    s.zz = detail::wavy<Real>(nn, 0.2, 0.0013, 0.3);
+    s.za.assign(nn, Real(0));
+    s.zb.assign(nn, Real(0));
+    s.zu.assign(nn, Real(0));
+    s.zv.assign(nn, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t jn = s.jn, kn = s.kn;
+    Real* za = s.za.data();
+    Real* zb = s.zb.data();
+    const Real* zm = s.zm.data();
+    const Real* zp = s.zp.data();
+    const Real* zq = s.zq.data();
+    const Real* zr = s.zr.data();
+    Real* zu = s.zu.data();
+    Real* zv = s.zv.data();
+    const Real* zz = s.zz.data();
+    const Real t = Real(0.0037), sc = Real(0.0041);
+    auto at = [jn](std::size_t k, std::size_t j) { return k * jn + j; };
+
+    exec.parallel_for(kn - 2, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t kk = lo; kk < hi; ++kk) {
+        const std::size_t k = kk + 1;
+        for (std::size_t j = 1; j < jn - 1; ++j) {
+          za[at(k, j)] =
+              (zp[at(k + 1, j - 1)] + zq[at(k + 1, j - 1)] -
+               zp[at(k, j - 1)] - zq[at(k, j - 1)]) *
+              (zr[at(k, j)] + zr[at(k, j - 1)]) /
+              (zm[at(k, j - 1)] + zm[at(k + 1, j - 1)] + Real(1e-6));
+          zb[at(k, j)] =
+              (zp[at(k, j - 1)] + zq[at(k, j - 1)] - zp[at(k, j)] -
+               zq[at(k, j)]) *
+              (zr[at(k, j)] + zr[at(k - 1, j)]) /
+              (zm[at(k, j)] + zm[at(k, j - 1)] + Real(1e-6));
+        }
+      }
+    });
+    exec.parallel_for(kn - 2, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t kk = lo; kk < hi; ++kk) {
+        const std::size_t k = kk + 1;
+        for (std::size_t j = 1; j < jn - 1; ++j) {
+          zu[at(k, j)] += sc * (za[at(k, j)] * (zz[at(k, j)] -
+                                                zz[at(k, j + 1)]) -
+                                za[at(k, j - 1)] * (zz[at(k, j)] -
+                                                    zz[at(k, j - 1)]) -
+                                zb[at(k, j)] * (zz[at(k, j)] -
+                                                zz[at(k - 1, j)]) +
+                                zb[at(k + 1, j)] * (zz[at(k, j)] -
+                                                    zz[at(k + 1, j)]));
+          zv[at(k, j)] += sc * (za[at(k, j)] * (zr[at(k, j)] -
+                                                zr[at(k, j + 1)]) -
+                                za[at(k, j - 1)] * (zr[at(k, j)] -
+                                                    zr[at(k, j - 1)]) -
+                                zb[at(k, j)] * (zr[at(k, j)] -
+                                                zr[at(k - 1, j)]) +
+                                zb[at(k + 1, j)] * (zr[at(k, j)] -
+                                                    zr[at(k + 1, j)]));
+        }
+      }
+    });
+    exec.parallel_for(kn - 2, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t kk = lo; kk < hi; ++kk) {
+        const std::size_t k = kk + 1;
+        for (std::size_t j = 1; j < jn - 1; ++j) {
+          zu[at(k, j)] = zu[at(k, j)] + t * za[at(k, j)];
+          zv[at(k, j)] = zv[at(k, j)] + t * zb[at(k, j)];
+        }
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return core::checksum(std::span<const Real>(s.zu)) +
+           core::checksum(std::span<const Real>(s.zv));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// -------------------------------------------------------- INT_PREDICT --
+class IntPredict final : public detail::DualPrecisionKernel<IntPredict> {
+ public:
+  IntPredict()
+      : DualPrecisionKernel(
+            SignatureBuilder("INT_PREDICT", Group::Lcals)
+                .iters(kN)
+                .reps(120)
+                .mix(OpMix{.fadd = 1, .ffma = 6, .loads = 7, .stores = 1})
+                .streamed(7, 1)
+                .working_set(13.0 * kN)
+                .pattern(AccessPattern::Strided)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> px;  // 13 planes
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kN);
+    s.px = detail::wavy<Real>(13 * s.n, 0.3, 0.0017, 0.4);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    Real* px = s.px.data();
+    const std::size_t n = s.n;
+    const Real dm22 = Real(0.1), dm23 = Real(0.2), dm24 = Real(0.3),
+               dm25 = Real(0.15), dm26 = Real(0.25), dm27 = Real(0.12),
+               dm28 = Real(0.22), c0 = Real(1.1);
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        px[i] = dm28 * px[12 * n + i] + dm27 * px[11 * n + i] +
+                dm26 * px[10 * n + i] + dm25 * px[9 * n + i] +
+                dm24 * px[8 * n + i] + dm23 * px[7 * n + i] +
+                dm22 * px[6 * n + i] +
+                c0 * (px[4 * n + i] + px[5 * n + i]) + px[2 * n + i];
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return core::checksum(
+        std::span<const Real>(s.px.data(), s.n));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- PLANCKIAN --
+class Planckian final : public detail::DualPrecisionKernel<Planckian> {
+ public:
+  Planckian()
+      : DualPrecisionKernel(
+            SignatureBuilder("PLANCKIAN", Group::Lcals)
+                .iters(kN)
+                .reps(60)
+                .mix(OpMix{.fadd = 1, .fdiv = 2, .fspecial = 1, .loads = 4,
+                           .stores = 2})
+                .streamed(4, 2)
+                .working_set(6.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> x, y, u, v, w;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.u = detail::uniform<Real>(n, rp.seed + 21, 0.2, 2.0);
+    s.v = detail::uniform<Real>(n, rp.seed + 22, 0.5, 3.0);
+    s.x = detail::uniform<Real>(n, rp.seed + 23, 0.1, 1.0);
+    s.y.assign(n, Real(0));
+    s.w.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* u = s.u.data();
+    const Real* v = s.v.data();
+    const Real* x = s.x.data();
+    Real* y = s.y.data();
+    Real* w = s.w.data();
+    exec.parallel_for(s.y.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        y[i] = u[i] / v[i];
+        w[i] = x[i] / (std::exp(y[i]) - Real(1));
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().w));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------- TRIDIAG_ELIM --
+// RAJAPerf's parallel form: xout[i] = z[i] * (y[i] - xin[i-1]).
+class TridiagElim final : public detail::DualPrecisionKernel<TridiagElim> {
+ public:
+  TridiagElim()
+      : DualPrecisionKernel(
+            SignatureBuilder("TRIDIAG_ELIM", Group::Lcals)
+                .iters(kN)
+                .reps(150)
+                .mix(OpMix{.fadd = 1, .fmul = 1, .loads = 3, .stores = 1})
+                .streamed(3, 1)
+                .working_set(4.0 * kN)
+                .pattern(AccessPattern::Stencil1D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> xout, xin, y, z;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.xin = detail::wavy<Real>(n, 0.4, 0.0013, 0.3);
+    s.y = detail::wavy<Real>(n, 0.5, 0.0009, 0.6);
+    s.z = detail::wavy<Real>(n, 0.3, 0.0031, 0.5);
+    s.xout.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* xin = s.xin.data();
+    const Real* y = s.y.data();
+    const Real* z = s.z.data();
+    Real* xout = s.xout.data();
+    exec.parallel_for(s.xout.size() - 1,
+                      [=](std::size_t lo, std::size_t hi, int) {
+                        for (std::size_t j = lo; j < hi; ++j) {
+                          const std::size_t i = j + 1;
+                          xout[i] = z[i] * (y[i] - xin[i - 1]);
+                        }
+                      });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().xout));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::KernelBase> make_diff_predict() {
+  return std::make_unique<DiffPredict>();
+}
+std::unique_ptr<core::KernelBase> make_eos() {
+  return std::make_unique<Eos>();
+}
+std::unique_ptr<core::KernelBase> make_first_diff() {
+  return std::make_unique<FirstDiff>();
+}
+std::unique_ptr<core::KernelBase> make_first_min() {
+  return std::make_unique<FirstMin>();
+}
+std::unique_ptr<core::KernelBase> make_first_sum() {
+  return std::make_unique<FirstSum>();
+}
+std::unique_ptr<core::KernelBase> make_gen_lin_recur() {
+  return std::make_unique<GenLinRecur>();
+}
+std::unique_ptr<core::KernelBase> make_hydro_1d() {
+  return std::make_unique<Hydro1d>();
+}
+std::unique_ptr<core::KernelBase> make_hydro_2d() {
+  return std::make_unique<Hydro2d>();
+}
+std::unique_ptr<core::KernelBase> make_int_predict() {
+  return std::make_unique<IntPredict>();
+}
+std::unique_ptr<core::KernelBase> make_planckian() {
+  return std::make_unique<Planckian>();
+}
+std::unique_ptr<core::KernelBase> make_tridiag_elim() {
+  return std::make_unique<TridiagElim>();
+}
+
+}  // namespace sgp::kernels::lcals

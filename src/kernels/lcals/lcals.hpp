@@ -1,0 +1,23 @@
+// Lcals-class kernels: the Livermore Compiler Analysis Loop Suite
+// fragments used by RAJAPerf.
+#pragma once
+
+#include <memory>
+
+#include "core/kernel_base.hpp"
+
+namespace sgp::kernels::lcals {
+
+std::unique_ptr<core::KernelBase> make_diff_predict();
+std::unique_ptr<core::KernelBase> make_eos();
+std::unique_ptr<core::KernelBase> make_first_diff();
+std::unique_ptr<core::KernelBase> make_first_min();
+std::unique_ptr<core::KernelBase> make_first_sum();
+std::unique_ptr<core::KernelBase> make_gen_lin_recur();
+std::unique_ptr<core::KernelBase> make_hydro_1d();
+std::unique_ptr<core::KernelBase> make_hydro_2d();
+std::unique_ptr<core::KernelBase> make_int_predict();
+std::unique_ptr<core::KernelBase> make_planckian();
+std::unique_ptr<core::KernelBase> make_tridiag_elim();
+
+}  // namespace sgp::kernels::lcals

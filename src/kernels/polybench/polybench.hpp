@@ -1,0 +1,25 @@
+// Polybench-class kernels: polyhedral loop nests (matrix chains,
+// matrix-vector chains, stencils and the ADI/Floyd-Warshall solvers).
+#pragma once
+
+#include <memory>
+
+#include "core/kernel_base.hpp"
+
+namespace sgp::kernels::polybench {
+
+std::unique_ptr<core::KernelBase> make_2mm();
+std::unique_ptr<core::KernelBase> make_3mm();
+std::unique_ptr<core::KernelBase> make_adi();
+std::unique_ptr<core::KernelBase> make_atax();
+std::unique_ptr<core::KernelBase> make_fdtd_2d();
+std::unique_ptr<core::KernelBase> make_floyd_warshall();
+std::unique_ptr<core::KernelBase> make_gemm();
+std::unique_ptr<core::KernelBase> make_gemver();
+std::unique_ptr<core::KernelBase> make_gesummv();
+std::unique_ptr<core::KernelBase> make_heat_3d();
+std::unique_ptr<core::KernelBase> make_jacobi_1d();
+std::unique_ptr<core::KernelBase> make_jacobi_2d();
+std::unique_ptr<core::KernelBase> make_mvt();
+
+}  // namespace sgp::kernels::polybench

@@ -1,0 +1,539 @@
+// Polybench kernels, part 1: matrix chains and matrix-vector chains.
+#include <cmath>
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "kernels/detail/data_init.hpp"
+#include "kernels/detail/dual_precision.hpp"
+#include "kernels/detail/signature_builder.hpp"
+#include "kernels/polybench/polybench.hpp"
+
+namespace sgp::kernels::polybench {
+
+namespace {
+
+using core::AccessPattern;
+using core::Group;
+using core::OpMix;
+using detail::SignatureBuilder;
+
+// Matrix-matrix sizes.
+constexpr std::size_t kMM = 256;
+// Matrix-vector sizes.
+constexpr std::size_t kMV = 1200;
+
+template <class Real>
+void matmul(const Real* a, const Real* b, Real* c, std::size_t n,
+            Real alpha, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    for (std::size_t j = 0; j < n; ++j) c[i * n + j] = Real(0);
+    for (std::size_t k = 0; k < n; ++k) {
+      const Real aik = alpha * a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += aik * b[k * n + j];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- 2MM --
+class TwoMM final : public detail::DualPrecisionKernel<TwoMM> {
+ public:
+  TwoMM()
+      : DualPrecisionKernel(
+            SignatureBuilder("2MM", Group::Polybench)
+                .iters(2.0 * kMM * kMM * kMM)
+                .reps(20)
+                .regions(2)
+                .mix(OpMix{.ffma = 1, .loads = 2, .stores = 0.01})
+                .streamed(0.05, 0.01)
+                .working_set(5.0 * kMM * kMM)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b, c, tmp, d;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kMM, 8);
+    const std::size_t nn = s.n * s.n;
+    s.a = detail::wavy<Real>(nn, 0.5, 0.013);
+    s.b = detail::wavy<Real>(nn, 0.5, 0.007, 0.1);
+    s.c = detail::wavy<Real>(nn, 0.5, 0.011, -0.1);
+    s.tmp.assign(nn, Real(0));
+    s.d.assign(nn, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const Real alpha = Real(1.5), beta = Real(1.2);
+    const Real* a = s.a.data();
+    const Real* b = s.b.data();
+    const Real* c = s.c.data();
+    Real* tmp = s.tmp.data();
+    Real* d = s.d.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      matmul(a, b, tmp, n, alpha, lo, hi);
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      matmul(tmp, c, d, n, beta, lo, hi);
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().d));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------------- 3MM --
+class ThreeMM final : public detail::DualPrecisionKernel<ThreeMM> {
+ public:
+  ThreeMM()
+      : DualPrecisionKernel(
+            SignatureBuilder("3MM", Group::Polybench)
+                .iters(3.0 * kMM * kMM * kMM)
+                .reps(15)
+                .regions(3)
+                .mix(OpMix{.ffma = 1, .loads = 2, .stores = 0.01})
+                .streamed(0.05, 0.01)
+                .working_set(7.0 * kMM * kMM)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b, c, d, e, f, g;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kMM, 8);
+    const std::size_t nn = s.n * s.n;
+    s.a = detail::wavy<Real>(nn, 0.4, 0.009);
+    s.b = detail::wavy<Real>(nn, 0.4, 0.017, 0.1);
+    s.c = detail::wavy<Real>(nn, 0.4, 0.013, 0.2);
+    s.d = detail::wavy<Real>(nn, 0.4, 0.019, -0.1);
+    s.e.assign(nn, Real(0));
+    s.f.assign(nn, Real(0));
+    s.g.assign(nn, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const Real* a = s.a.data();
+    const Real* b = s.b.data();
+    const Real* c = s.c.data();
+    const Real* d = s.d.data();
+    Real* e = s.e.data();
+    Real* f = s.f.data();
+    Real* g = s.g.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      matmul(a, b, e, n, Real(1), lo, hi);
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      matmul(c, d, f, n, Real(1), lo, hi);
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      matmul(e, f, g, n, Real(1), lo, hi);
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().g));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// --------------------------------------------------------------- GEMM --
+class Gemm final : public detail::DualPrecisionKernel<Gemm> {
+ public:
+  static constexpr std::size_t kDim = 256;
+
+  Gemm()
+      : DualPrecisionKernel(
+            SignatureBuilder("GEMM", Group::Polybench)
+                .iters(static_cast<double>(kDim) * kDim * kDim)
+                .reps(25)
+                .mix(OpMix{.ffma = 1, .loads = 2, .stores = 0.01})
+                .streamed(0.05, 0.01)
+                .working_set(3.0 * kDim * kDim)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b, c;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kDim, 8);
+    const std::size_t nn = s.n * s.n;
+    s.a = detail::wavy<Real>(nn, 0.6, 0.011);
+    s.b = detail::wavy<Real>(nn, 0.6, 0.023, 0.2);
+    s.c = detail::wavy<Real>(nn, 0.1, 0.005, 0.1);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const Real alpha = Real(0.9), beta = Real(1.1);
+    const Real* a = s.a.data();
+    const Real* b = s.b.data();
+    Real* c = s.c.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 0; j < n; ++j) c[i * n + j] *= beta;
+        for (std::size_t k = 0; k < n; ++k) {
+          const Real aik = alpha * a[i * n + k];
+          for (std::size_t j = 0; j < n; ++j) {
+            c[i * n + j] += aik * b[k * n + j];
+          }
+        }
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().c));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// --------------------------------------------------------------- ATAX --
+// y = A^T (A x): two matrix-vector products.
+class Atax final : public detail::DualPrecisionKernel<Atax> {
+ public:
+  Atax()
+      : DualPrecisionKernel(
+            SignatureBuilder("ATAX", Group::Polybench)
+                .iters(2.0 * kMV * kMV)
+                .reps(40)
+                .regions(2)
+                .mix(OpMix{.ffma = 1, .loads = 2, .stores = 0.01})
+                .streamed(1, 0.01)
+                .working_set(static_cast<double>(kMV) * kMV)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, x, y, tmp;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kMV, 8);
+    s.a = detail::wavy<Real>(s.n * s.n, 0.2, 0.0009);
+    s.x = detail::ramp<Real>(s.n, 0.1, 1.0 / static_cast<double>(s.n));
+    s.y.assign(s.n, Real(0));
+    s.tmp.assign(s.n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const Real* a = s.a.data();
+    const Real* x = s.x.data();
+    Real* y = s.y.data();
+    Real* tmp = s.tmp.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Real acc = Real(0);
+        for (std::size_t j = 0; j < n; ++j) acc += a[i * n + j] * x[j];
+        tmp[i] = acc;
+      }
+    });
+    // Column sweep parallelised over j to stay write-disjoint.
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        Real acc = Real(0);
+        for (std::size_t i = 0; i < n; ++i) acc += a[i * n + j] * tmp[i];
+        y[j] = acc;
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------------- GEMVER --
+// Rank-2 update followed by two matrix-vector products.
+class Gemver final : public detail::DualPrecisionKernel<Gemver> {
+ public:
+  Gemver()
+      : DualPrecisionKernel(
+            SignatureBuilder("GEMVER", Group::Polybench)
+                .iters(3.0 * kMV * kMV)
+                .reps(30)
+                .regions(4)
+                .mix(OpMix{.ffma = 1.3, .loads = 2, .stores = 0.4})
+                .streamed(1.3, 0.4)
+                .working_set(static_cast<double>(kMV) * kMV)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, u1, v1, u2, v2, w, x, y, z;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kMV, 8);
+    s.a = detail::wavy<Real>(s.n * s.n, 0.1, 0.0011);
+    s.u1 = detail::wavy<Real>(s.n, 0.5, 0.01);
+    s.v1 = detail::wavy<Real>(s.n, 0.5, 0.02, 0.1);
+    s.u2 = detail::wavy<Real>(s.n, 0.5, 0.03, -0.1);
+    s.v2 = detail::wavy<Real>(s.n, 0.5, 0.04, 0.2);
+    s.y = detail::ramp<Real>(s.n, 0.2, 1.0 / static_cast<double>(s.n));
+    s.z = detail::ramp<Real>(s.n, 0.1, 0.5 / static_cast<double>(s.n));
+    s.x.assign(s.n, Real(0));
+    s.w.assign(s.n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const Real alpha = Real(0.8), beta = Real(1.1);
+    Real* a = s.a.data();
+    const Real* u1 = s.u1.data();
+    const Real* v1 = s.v1.data();
+    const Real* u2 = s.u2.data();
+    const Real* v2 = s.v2.data();
+    Real* w = s.w.data();
+    Real* x = s.x.data();
+    const Real* y = s.y.data();
+    const Real* z = s.z.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          a[i * n + j] += u1[i] * v1[j] + u2[i] * v2[j];
+        }
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Real acc = Real(0);
+        for (std::size_t j = 0; j < n; ++j) acc += a[j * n + i] * y[j];
+        x[i] += beta * acc;
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) x[i] += z[i];
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Real acc = Real(0);
+        for (std::size_t j = 0; j < n; ++j) acc += a[i * n + j] * x[j];
+        w[i] += alpha * acc;
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().w));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------------ GESUMMV --
+class Gesummv final : public detail::DualPrecisionKernel<Gesummv> {
+ public:
+  Gesummv()
+      : DualPrecisionKernel(
+            SignatureBuilder("GESUMMV", Group::Polybench)
+                .iters(2.0 * kMV * kMV)
+                .reps(40)
+                .mix(OpMix{.fadd = 0.01, .ffma = 2, .loads = 3,
+                           .stores = 0.01})
+                .streamed(2, 0.01)
+                .working_set(2.0 * kMV * kMV)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b, x, y;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kMV, 8);
+    s.a = detail::wavy<Real>(s.n * s.n, 0.2, 0.0007);
+    s.b = detail::wavy<Real>(s.n * s.n, 0.2, 0.0013, 0.1);
+    s.x = detail::ramp<Real>(s.n, 0.3, 1.0 / static_cast<double>(s.n));
+    s.y.assign(s.n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const Real alpha = Real(0.75), beta = Real(1.25);
+    const Real* a = s.a.data();
+    const Real* b = s.b.data();
+    const Real* x = s.x.data();
+    Real* y = s.y.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Real t = Real(0), u = Real(0);
+        for (std::size_t j = 0; j < n; ++j) {
+          t += a[i * n + j] * x[j];
+          u += b[i * n + j] * x[j];
+        }
+        y[i] = alpha * t + beta * u;
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().y));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------------- MVT --
+class Mvt final : public detail::DualPrecisionKernel<Mvt> {
+ public:
+  Mvt()
+      : DualPrecisionKernel(
+            SignatureBuilder("MVT", Group::Polybench)
+                .iters(2.0 * kMV * kMV)
+                .reps(40)
+                .regions(2)
+                .mix(OpMix{.ffma = 1, .loads = 2, .stores = 0.01})
+                .streamed(1, 0.01)
+                .working_set(static_cast<double>(kMV) * kMV)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, x1, x2, y1, y2;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kMV, 8);
+    s.a = detail::wavy<Real>(s.n * s.n, 0.15, 0.0017);
+    s.y1 = detail::ramp<Real>(s.n, 0.1, 1.0 / static_cast<double>(s.n));
+    s.y2 = detail::ramp<Real>(s.n, 0.2, 0.7 / static_cast<double>(s.n));
+    s.x1.assign(s.n, Real(0.5));
+    s.x2.assign(s.n, Real(0.25));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    const Real* a = s.a.data();
+    Real* x1 = s.x1.data();
+    Real* x2 = s.x2.data();
+    const Real* y1 = s.y1.data();
+    const Real* y2 = s.y2.data();
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Real acc = Real(0);
+        for (std::size_t j = 0; j < n; ++j) acc += a[i * n + j] * y1[j];
+        x1[i] += acc;
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Real acc = Real(0);
+        for (std::size_t j = 0; j < n; ++j) acc += a[j * n + i] * y2[j];
+        x2[i] += acc;
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    const auto& s = st_.get<Real>();
+    return core::checksum(std::span<const Real>(s.x1)) +
+           core::checksum(std::span<const Real>(s.x2));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::KernelBase> make_2mm() {
+  return std::make_unique<TwoMM>();
+}
+std::unique_ptr<core::KernelBase> make_3mm() {
+  return std::make_unique<ThreeMM>();
+}
+std::unique_ptr<core::KernelBase> make_gemm() {
+  return std::make_unique<Gemm>();
+}
+std::unique_ptr<core::KernelBase> make_atax() {
+  return std::make_unique<Atax>();
+}
+std::unique_ptr<core::KernelBase> make_gemver() {
+  return std::make_unique<Gemver>();
+}
+std::unique_ptr<core::KernelBase> make_gesummv() {
+  return std::make_unique<Gesummv>();
+}
+std::unique_ptr<core::KernelBase> make_mvt() {
+  return std::make_unique<Mvt>();
+}
+
+}  // namespace sgp::kernels::polybench

@@ -1,0 +1,499 @@
+// Polybench kernels, part 2: stencils and the ADI / Floyd-Warshall
+// solvers.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "kernels/detail/data_init.hpp"
+#include "kernels/detail/dual_precision.hpp"
+#include "kernels/detail/signature_builder.hpp"
+#include "kernels/polybench/polybench.hpp"
+
+namespace sgp::kernels::polybench {
+
+namespace {
+
+using core::AccessPattern;
+using core::Group;
+using core::OpMix;
+using detail::SignatureBuilder;
+
+// ---------------------------------------------------------------- ADI --
+// Alternating-direction-implicit sweeps: each direction carries a
+// recurrence along one axis, parallel along the other.
+class Adi final : public detail::DualPrecisionKernel<Adi> {
+ public:
+  static constexpr std::size_t kDim = 800;
+
+  Adi()
+      : DualPrecisionKernel(
+            SignatureBuilder("ADI", Group::Polybench)
+                .iters(2.0 * kDim * kDim)
+                .reps(25)
+                .regions(2)
+                .mix(OpMix{.ffma = 2, .fdiv = 1, .loads = 4, .stores = 2})
+                .streamed(3, 2)
+                .working_set(3.0 * kDim * kDim)
+                .pattern(AccessPattern::Sequential)
+                .recurrence()
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> u, v, p, q;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kDim, 8);
+    const std::size_t nn = s.n * s.n;
+    s.u = detail::wavy<Real>(nn, 0.3, 0.0009, 0.5);
+    s.v.assign(nn, Real(0));
+    s.p.assign(nn, Real(0));
+    s.q.assign(nn, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    Real* u = s.u.data();
+    Real* v = s.v.data();
+    Real* p = s.p.data();
+    Real* q = s.q.data();
+    const Real a = Real(-0.2), b = Real(1.4), c = Real(-0.2),
+               d = Real(0.2), f = Real(0.6);
+    // Column sweep: recurrence along i, parallel over columns j.
+    exec.parallel_for(n - 2, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t jj = lo; jj < hi; ++jj) {
+        const std::size_t j = jj + 1;
+        v[0 * n + j] = Real(1);
+        p[0 * n + j] = Real(0);
+        q[0 * n + j] = v[0 * n + j];
+        for (std::size_t i = 1; i < n - 1; ++i) {
+          p[i * n + j] = -c / (a * p[(i - 1) * n + j] + b);
+          q[i * n + j] =
+              (-d * u[j * n + i - 1] + (Real(1) + Real(2) * d) * u[j * n + i] -
+               f * u[j * n + i + 1] - a * q[(i - 1) * n + j]) /
+              (a * p[(i - 1) * n + j] + b);
+        }
+        v[(n - 1) * n + j] = Real(1);
+        for (std::size_t i = n - 2; i >= 1; --i) {
+          v[i * n + j] = p[i * n + j] * v[(i + 1) * n + j] + q[i * n + j];
+        }
+      }
+    });
+    // Row sweep: recurrence along j, parallel over rows i.
+    exec.parallel_for(n - 2, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t ii = lo; ii < hi; ++ii) {
+        const std::size_t i = ii + 1;
+        u[i * n + 0] = Real(1);
+        p[i * n + 0] = Real(0);
+        q[i * n + 0] = u[i * n + 0];
+        for (std::size_t j = 1; j < n - 1; ++j) {
+          p[i * n + j] = -f / (d * p[i * n + j - 1] + b);
+          q[i * n + j] =
+              (-a * v[(i - 1) * n + j] + (Real(1) + Real(2) * a) * v[i * n + j] -
+               c * v[(i + 1) * n + j] - d * q[i * n + j - 1]) /
+              (d * p[i * n + j - 1] + b);
+        }
+        u[i * n + n - 1] = Real(1);
+        for (std::size_t j = n - 2; j >= 1; --j) {
+          u[i * n + j] = p[i * n + j] * u[i * n + j + 1] + q[i * n + j];
+        }
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().u));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------------ FDTD_2D --
+class Fdtd2d final : public detail::DualPrecisionKernel<Fdtd2d> {
+ public:
+  static constexpr std::size_t kDim = 1000;
+
+  Fdtd2d()
+      : DualPrecisionKernel(
+            SignatureBuilder("FDTD_2D", Group::Polybench)
+                .iters(3.0 * kDim * kDim)
+                .reps(25)
+                .regions(4)
+                .mix(OpMix{.fadd = 2, .ffma = 1, .loads = 4, .stores = 1})
+                .streamed(3, 1)
+                .working_set(3.0 * kDim * kDim)
+                .pattern(AccessPattern::Stencil2D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> ex, ey, hz;
+    std::size_t n = 0;
+    std::size_t t = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kDim, 8);
+    const std::size_t nn = s.n * s.n;
+    s.ex = detail::wavy<Real>(nn, 0.2, 0.0013, 0.3);
+    s.ey = detail::wavy<Real>(nn, 0.2, 0.0031, 0.2);
+    s.hz = detail::wavy<Real>(nn, 0.2, 0.0007, 0.4);
+    s.t = 0;
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    Real* ex = s.ex.data();
+    Real* ey = s.ey.data();
+    Real* hz = s.hz.data();
+    const Real fict = static_cast<Real>(s.t % 16) * Real(0.05);
+    ++s.t;
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t j = lo; j < hi; ++j) ey[0 * n + j] = fict;
+    });
+    exec.parallel_for(n - 1, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t ii = lo; ii < hi; ++ii) {
+        const std::size_t i = ii + 1;
+        for (std::size_t j = 0; j < n; ++j) {
+          ey[i * n + j] -= Real(0.5) * (hz[i * n + j] - hz[(i - 1) * n + j]);
+        }
+      }
+    });
+    exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 1; j < n; ++j) {
+          ex[i * n + j] -= Real(0.5) * (hz[i * n + j] - hz[i * n + j - 1]);
+        }
+      }
+    });
+    exec.parallel_for(n - 1, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 0; j < n - 1; ++j) {
+          hz[i * n + j] -=
+              Real(0.7) * (ex[i * n + j + 1] - ex[i * n + j] +
+                           ey[(i + 1) * n + j] - ey[i * n + j]);
+        }
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().hz));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ----------------------------------------------------- FLOYD_WARSHALL --
+// All-pairs shortest paths; the outer k loop is inherently serial, so
+// each rep issues kDim parallel regions (heavy barrier traffic).
+class FloydWarshall final : public detail::DualPrecisionKernel<FloydWarshall> {
+ public:
+  static constexpr std::size_t kDim = 256;
+
+  FloydWarshall()
+      : DualPrecisionKernel(
+            SignatureBuilder("FLOYD_WARSHALL", Group::Polybench)
+                .iters(static_cast<double>(kDim) * kDim * kDim)
+                .reps(10)
+                .regions(kDim)
+                .mix(OpMix{.fadd = 1, .fcmp = 1, .loads = 3, .stores = 1,
+                           .branches = 1})
+                .streamed(1, 1)
+                .working_set(static_cast<double>(kDim) * kDim)
+                .pattern(AccessPattern::BlockedMatrix)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> pristine, path;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kDim, 8);
+    s.pristine = detail::uniform<Real>(s.n * s.n, rp.seed + 31, 1.0, 50.0);
+    for (std::size_t i = 0; i < s.n; ++i) {
+      s.pristine[i * s.n + i] = Real(0);
+    }
+    s.path = s.pristine;
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    s.path = s.pristine;
+    const std::size_t n = s.n;
+    Real* path = s.path.data();
+    for (std::size_t k = 0; k < n; ++k) {
+      exec.parallel_for(n, [=](std::size_t lo, std::size_t hi, int) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Real pik = path[i * n + k];
+          for (std::size_t j = 0; j < n; ++j) {
+            const Real through_k = pik + path[k * n + j];
+            if (through_k < path[i * n + j]) path[i * n + j] = through_k;
+          }
+        }
+      });
+    }
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().path));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ------------------------------------------------------------ HEAT_3D --
+class Heat3d final : public detail::DualPrecisionKernel<Heat3d> {
+ public:
+  static constexpr std::size_t kDim = 100;
+
+  Heat3d()
+      : DualPrecisionKernel(
+            SignatureBuilder("HEAT_3D", Group::Polybench)
+                .iters(2.0 * kDim * kDim * kDim)
+                .reps(20)
+                .regions(2)
+                .mix(OpMix{.fadd = 6, .ffma = 3, .loads = 7, .stores = 1})
+                .streamed(2, 1)
+                .working_set(2.0 * kDim * kDim * kDim)
+                .pattern(AccessPattern::Stencil3D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kDim, 8);
+    const std::size_t nnn = s.n * s.n * s.n;
+    s.a = detail::wavy<Real>(nnn, 0.4, 0.0011, 0.6);
+    s.b = s.a;
+  }
+
+  template <class Real>
+  static void sweep(const Real* src, Real* dst, std::size_t n,
+                    std::size_t lo, std::size_t hi) {
+    auto at = [n](std::size_t i, std::size_t j, std::size_t k) {
+      return (i * n + j) * n + k;
+    };
+    for (std::size_t ii = lo; ii < hi; ++ii) {
+      const std::size_t i = ii + 1;
+      for (std::size_t j = 1; j < n - 1; ++j) {
+        for (std::size_t k = 1; k < n - 1; ++k) {
+          dst[at(i, j, k)] =
+              Real(0.125) * (src[at(i + 1, j, k)] - Real(2) * src[at(i, j, k)] +
+                             src[at(i - 1, j, k)]) +
+              Real(0.125) * (src[at(i, j + 1, k)] - Real(2) * src[at(i, j, k)] +
+                             src[at(i, j - 1, k)]) +
+              Real(0.125) * (src[at(i, j, k + 1)] - Real(2) * src[at(i, j, k)] +
+                             src[at(i, j, k - 1)]) +
+              src[at(i, j, k)];
+        }
+      }
+    }
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    Real* a = s.a.data();
+    Real* b = s.b.data();
+    exec.parallel_for(n - 2, [=](std::size_t lo, std::size_t hi, int) {
+      sweep(a, b, n, lo, hi);
+    });
+    exec.parallel_for(n - 2, [=](std::size_t lo, std::size_t hi, int) {
+      sweep(b, a, n, lo, hi);
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().a));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- JACOBI_1D --
+class Jacobi1d final : public detail::DualPrecisionKernel<Jacobi1d> {
+ public:
+  static constexpr std::size_t kN = 1'000'000;
+
+  Jacobi1d()
+      : DualPrecisionKernel(
+            SignatureBuilder("JACOBI_1D", Group::Polybench)
+                .iters(2.0 * kN)
+                .reps(50)
+                .regions(2)
+                .mix(OpMix{.fadd = 2, .fmul = 1, .loads = 3, .stores = 1})
+                .streamed(1, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Stencil1D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.a = detail::wavy<Real>(n, 0.5, 0.0013, 0.5);
+    s.b = s.a;
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    Real* a = s.a.data();
+    Real* b = s.b.data();
+    const std::size_t n = s.a.size();
+    exec.parallel_for(n - 2, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        const std::size_t i = j + 1;
+        b[i] = Real(1.0 / 3.0) * (a[i - 1] + a[i] + a[i + 1]);
+      }
+    });
+    exec.parallel_for(n - 2, [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        const std::size_t i = j + 1;
+        a[i] = Real(1.0 / 3.0) * (b[i - 1] + b[i] + b[i + 1]);
+      }
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().a));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------- JACOBI_2D --
+class Jacobi2d final : public detail::DualPrecisionKernel<Jacobi2d> {
+ public:
+  static constexpr std::size_t kDim = 1000;
+
+  Jacobi2d()
+      : DualPrecisionKernel(
+            SignatureBuilder("JACOBI_2D", Group::Polybench)
+                .iters(2.0 * kDim * kDim)
+                .reps(30)
+                .regions(2)
+                .mix(OpMix{.fadd = 4, .fmul = 1, .loads = 5, .stores = 1})
+                .streamed(1.5, 1)
+                .working_set(2.0 * kDim * kDim)
+                .pattern(AccessPattern::Stencil2D)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b;
+    std::size_t n = 0;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    s.n = rp.scaled(kDim, 8);
+    s.a = detail::wavy<Real>(s.n * s.n, 0.4, 0.0017, 0.5);
+    s.b = s.a;
+  }
+
+  template <class Real>
+  static void sweep(const Real* src, Real* dst, std::size_t n,
+                    std::size_t lo, std::size_t hi) {
+    for (std::size_t ii = lo; ii < hi; ++ii) {
+      const std::size_t i = ii + 1;
+      for (std::size_t j = 1; j < n - 1; ++j) {
+        dst[i * n + j] =
+            Real(0.2) * (src[i * n + j] + src[i * n + j - 1] +
+                         src[i * n + j + 1] + src[(i + 1) * n + j] +
+                         src[(i - 1) * n + j]);
+      }
+    }
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = s.n;
+    Real* a = s.a.data();
+    Real* b = s.b.data();
+    exec.parallel_for(n - 2, [=](std::size_t lo, std::size_t hi, int) {
+      sweep(a, b, n, lo, hi);
+    });
+    exec.parallel_for(n - 2, [=](std::size_t lo, std::size_t hi, int) {
+      sweep(b, a, n, lo, hi);
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().a));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::KernelBase> make_adi() {
+  return std::make_unique<Adi>();
+}
+std::unique_ptr<core::KernelBase> make_fdtd_2d() {
+  return std::make_unique<Fdtd2d>();
+}
+std::unique_ptr<core::KernelBase> make_floyd_warshall() {
+  return std::make_unique<FloydWarshall>();
+}
+std::unique_ptr<core::KernelBase> make_heat_3d() {
+  return std::make_unique<Heat3d>();
+}
+std::unique_ptr<core::KernelBase> make_jacobi_1d() {
+  return std::make_unique<Jacobi1d>();
+}
+std::unique_ptr<core::KernelBase> make_jacobi_2d() {
+  return std::make_unique<Jacobi2d>();
+}
+
+}  // namespace sgp::kernels::polybench

@@ -1,0 +1,20 @@
+// Registers all 64 kernels of the suite, in the canonical group order
+// (Algorithm, Apps, Basic, Lcals, Polybench, Stream; alphabetical inside
+// a group).
+#pragma once
+
+#include "core/registry.hpp"
+
+namespace sgp::kernels {
+
+/// Populates `reg` with the full suite. Throws on duplicates (i.e. when
+/// called twice on the same registry).
+void register_all(core::Registry& reg);
+
+/// Convenience: a freshly populated registry.
+core::Registry make_registry();
+
+/// Signatures of every kernel, in registry order (no data allocated).
+std::vector<core::KernelSignature> all_signatures();
+
+}  // namespace sgp::kernels

@@ -1,0 +1,294 @@
+#include "kernels/stream/stream.hpp"
+
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "kernels/detail/data_init.hpp"
+#include "kernels/detail/dual_precision.hpp"
+#include "kernels/detail/signature_builder.hpp"
+
+namespace sgp::kernels::stream {
+
+namespace {
+
+using core::AccessPattern;
+using core::Group;
+using core::OpMix;
+using detail::SignatureBuilder;
+
+constexpr std::size_t kN = 4'000'000;
+constexpr double kReps = 100;
+
+// ---------------------------------------------------------------- ADD --
+class Add final : public detail::DualPrecisionKernel<Add> {
+ public:
+  Add()
+      : DualPrecisionKernel(
+            SignatureBuilder("ADD", Group::Stream)
+                .iters(kN)
+                .reps(kReps)
+                .mix(OpMix{.fadd = 1, .loads = 2, .stores = 1})
+                .streamed(2, 1)
+                .working_set(3.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b, c;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.a = detail::ramp<Real>(n, 0.1);
+    s.b = detail::ramp<Real>(n, 0.2);
+    s.c.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* a = s.a.data();
+    const Real* b = s.b.data();
+    Real* c = s.c.data();
+    exec.parallel_for(s.c.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) c[i] = a[i] + b[i];
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().c));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// --------------------------------------------------------------- COPY --
+class Copy final : public detail::DualPrecisionKernel<Copy> {
+ public:
+  Copy()
+      : DualPrecisionKernel(
+            SignatureBuilder("COPY", Group::Stream)
+                .iters(kN)
+                .reps(kReps)
+                .mix(OpMix{.loads = 1, .stores = 1})
+                .streamed(1, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, c;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.a = detail::wavy<Real>(n, 2.0);
+    s.c.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* a = s.a.data();
+    Real* c = s.c.data();
+    exec.parallel_for(s.c.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) c[i] = a[i];
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().c));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------------- DOT --
+class Dot final : public detail::DualPrecisionKernel<Dot> {
+ public:
+  Dot()
+      : DualPrecisionKernel(
+            SignatureBuilder("DOT", Group::Stream)
+                .iters(kN)
+                .reps(kReps)
+                .mix(OpMix{.ffma = 1, .loads = 2})
+                .streamed(2, 0)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Reduction)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b;
+    Real dot = Real(0);
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.a = detail::wavy<Real>(n, 1.0, 0.002, 0.5);
+    s.b = detail::wavy<Real>(n, 1.0, 0.003, 0.25);
+    s.dot = Real(0);
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real* a = s.a.data();
+    const Real* b = s.b.data();
+    std::vector<double> partial(
+        static_cast<std::size_t>(exec.max_chunks()), 0.0);
+    double* part = partial.data();
+    exec.parallel_for(s.a.size(),
+                      [=](std::size_t lo, std::size_t hi, int chunk) {
+                        double sum = 0.0;
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          sum += static_cast<double>(a[i]) * b[i];
+                        }
+                        part[chunk] = sum;
+                      });
+    double total = 0.0;
+    for (double v : partial) total += v;
+    s.dot = static_cast<Real>(total);
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return static_cast<long double>(st_.get<Real>().dot);
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// ---------------------------------------------------------------- MUL --
+class Mul final : public detail::DualPrecisionKernel<Mul> {
+ public:
+  Mul()
+      : DualPrecisionKernel(
+            SignatureBuilder("MUL", Group::Stream)
+                .iters(kN)
+                .reps(kReps)
+                .mix(OpMix{.fmul = 1, .loads = 1, .stores = 1})
+                .streamed(1, 1)
+                .working_set(2.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> b, c;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.c = detail::wavy<Real>(n, 1.5, 0.004, 1.0);
+    s.b.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real alpha = Real(0.5);
+    const Real* c = s.c.data();
+    Real* b = s.b.data();
+    exec.parallel_for(s.b.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) b[i] = alpha * c[i];
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().b));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+// -------------------------------------------------------------- TRIAD --
+class Triad final : public detail::DualPrecisionKernel<Triad> {
+ public:
+  Triad()
+      : DualPrecisionKernel(
+            SignatureBuilder("TRIAD", Group::Stream)
+                .iters(kN)
+                .reps(kReps)
+                .mix(OpMix{.ffma = 1, .loads = 2, .stores = 1})
+                .streamed(2, 1)
+                .working_set(3.0 * kN)
+                .pattern(AccessPattern::Streaming)
+                .build()) {}
+
+  template <class Real>
+  struct State {
+    std::vector<Real> a, b, c;
+  };
+
+  template <class Real>
+  void init(const core::RunParams& rp) {
+    auto& s = st_.get<Real>();
+    const std::size_t n = rp.scaled(kN);
+    s.b = detail::ramp<Real>(n, 0.5, 2e-4);
+    s.c = detail::wavy<Real>(n, 1.0, 0.001, 0.5);
+    s.a.assign(n, Real(0));
+  }
+
+  template <class Real>
+  void run(core::Executor& exec) {
+    auto& s = st_.get<Real>();
+    const Real alpha = Real(0.25);
+    const Real* b = s.b.data();
+    const Real* c = s.c.data();
+    Real* a = s.a.data();
+    exec.parallel_for(s.a.size(), [=](std::size_t lo, std::size_t hi, int) {
+      for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + alpha * c[i];
+    });
+  }
+
+  template <class Real>
+  long double cksum() const {
+    return core::checksum(std::span<const Real>(st_.get<Real>().a));
+  }
+  void reset() { st_.reset(); }
+
+ private:
+  detail::StatePair<State> st_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::KernelBase> make_add() {
+  return std::make_unique<Add>();
+}
+std::unique_ptr<core::KernelBase> make_copy() {
+  return std::make_unique<Copy>();
+}
+std::unique_ptr<core::KernelBase> make_dot() {
+  return std::make_unique<Dot>();
+}
+std::unique_ptr<core::KernelBase> make_mul() {
+  return std::make_unique<Mul>();
+}
+std::unique_ptr<core::KernelBase> make_triad() {
+  return std::make_unique<Triad>();
+}
+
+}  // namespace sgp::kernels::stream

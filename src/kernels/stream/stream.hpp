@@ -1,0 +1,17 @@
+// The five STREAM-class kernels (memory-bandwidth focused, simple
+// vectorisable loops).
+#pragma once
+
+#include <memory>
+
+#include "core/kernel_base.hpp"
+
+namespace sgp::kernels::stream {
+
+std::unique_ptr<core::KernelBase> make_add();
+std::unique_ptr<core::KernelBase> make_copy();
+std::unique_ptr<core::KernelBase> make_dot();
+std::unique_ptr<core::KernelBase> make_mul();
+std::unique_ptr<core::KernelBase> make_triad();
+
+}  // namespace sgp::kernels::stream

@@ -1,0 +1,20 @@
+// Central per-kernel auto-vectorisation capability table (one auditable
+// place), encoding the paper's counts: GCC 8.4 vectorises 30 of the 64
+// kernels with 7 taking the scalar path at runtime; Clang vectorises 59
+// with 3 taking the scalar path.
+#pragma once
+
+#include <string_view>
+
+#include "core/signature.hpp"
+
+namespace sgp::kernels {
+
+/// Fills sig.gcc and sig.clang from the table. Throws std::out_of_range
+/// for a kernel name not in the table (catches typos at registration).
+void apply_vectorization_facts(core::KernelSignature& sig);
+
+/// True when the table has an entry for `name` (for tests).
+bool has_vectorization_facts(std::string_view name);
+
+}  // namespace sgp::kernels

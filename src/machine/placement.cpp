@@ -1,0 +1,147 @@
+#include "machine/placement.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace sgp::machine {
+
+namespace {
+
+/// Region core list reordered so that consecutive picks land on distinct
+/// L2 clusters (and on distinct contiguous id blocks first, matching the
+/// paper's example: region 0 of the SG2042 yields 0, 16, 4, 20, 1, 17,
+/// 5, 21, ...).
+std::vector<int> cluster_cyclic_order(const MachineDescriptor& m,
+                                      const std::vector<int>& region_cores) {
+  // Identify contiguous id blocks within the region (the SG2042 regions
+  // consist of two non-adjacent blocks of eight).
+  struct Key {
+    int idx_in_cluster;
+    int block;
+    int cluster_pos;  // position of the cluster inside its block
+    int core;
+  };
+  std::vector<Key> keys;
+  keys.reserve(region_cores.size());
+
+  // Block index: increases whenever ids stop being consecutive.
+  std::map<int, int> block_of;  // core -> block idx
+  int block = 0;
+  for (std::size_t i = 0; i < region_cores.size(); ++i) {
+    if (i > 0 && region_cores[i] != region_cores[i - 1] + 1) ++block;
+    block_of[region_cores[i]] = block;
+  }
+
+  // Position of each cluster inside its block, in first-core order.
+  std::map<int, int> cluster_pos;  // cluster idx -> position
+  {
+    std::map<std::pair<int, int>, int> next_pos;  // (block) -> counter
+    for (int c : region_cores) {
+      const int cl = m.cluster_of_core(c);
+      if (cluster_pos.find(cl) == cluster_pos.end()) {
+        const int b = block_of[c];
+        cluster_pos[cl] = next_pos[{b, 0}]++;
+      }
+    }
+  }
+
+  for (int c : region_cores) {
+    const int cl = m.cluster_of_core(c);
+    const auto& members = m.clusters[static_cast<std::size_t>(cl)];
+    const int idx = static_cast<int>(
+        std::find(members.begin(), members.end(), c) - members.begin());
+    keys.push_back(Key{idx, block_of[c], cluster_pos[cl], c});
+  }
+  std::stable_sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.idx_in_cluster != b.idx_in_cluster)
+      return a.idx_in_cluster < b.idx_in_cluster;
+    if (a.cluster_pos != b.cluster_pos) return a.cluster_pos < b.cluster_pos;
+    return a.block < b.block;
+  });
+  std::vector<int> out;
+  out.reserve(keys.size());
+  for (const auto& k : keys) out.push_back(k.core);
+  return out;
+}
+
+/// Round-robin over per-region orderings: pick position j from every
+/// region in turn.
+std::vector<int> round_robin(const std::vector<std::vector<int>>& per_region,
+                             int nthreads) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(nthreads));
+  std::size_t j = 0;
+  while (static_cast<int>(out.size()) < nthreads) {
+    bool any = false;
+    for (const auto& region : per_region) {
+      if (j < region.size()) {
+        any = true;
+        out.push_back(region[j]);
+        if (static_cast<int>(out.size()) == nthreads) return out;
+      }
+    }
+    if (!any) break;  // all regions exhausted (cannot happen if validated)
+    ++j;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> assign_cores(const MachineDescriptor& m, Placement p,
+                              int nthreads) {
+  if (nthreads < 1 || nthreads > m.num_cores) {
+    throw std::invalid_argument("assign_cores: nthreads out of range for " +
+                                m.name);
+  }
+  switch (p) {
+    case Placement::Block: {
+      std::vector<int> out(static_cast<std::size_t>(nthreads));
+      for (int i = 0; i < nthreads; ++i) out[static_cast<std::size_t>(i)] = i;
+      return out;
+    }
+    case Placement::CyclicNuma: {
+      std::vector<std::vector<int>> per_region;
+      per_region.reserve(m.numa.size());
+      for (const auto& r : m.numa) per_region.push_back(r.cores);
+      return round_robin(per_region, nthreads);
+    }
+    case Placement::ClusterCyclic: {
+      std::vector<std::vector<int>> per_region;
+      per_region.reserve(m.numa.size());
+      for (const auto& r : m.numa) {
+        per_region.push_back(cluster_cyclic_order(m, r.cores));
+      }
+      return round_robin(per_region, nthreads);
+    }
+  }
+  throw std::invalid_argument("assign_cores: unknown placement");
+}
+
+PlacementStats analyze(const MachineDescriptor& m,
+                       const std::vector<int>& cores) {
+  PlacementStats st;
+  st.threads_per_numa.assign(m.numa.size(), 0);
+  st.threads_per_cluster.assign(m.clusters.size(), 0);
+  for (int c : cores) {
+    const int r = m.numa_of_core(c);
+    const int cl = m.cluster_of_core(c);
+    if (r < 0 || cl < 0) {
+      throw std::invalid_argument("analyze: core " + std::to_string(c) +
+                                  " unknown on " + m.name);
+    }
+    ++st.threads_per_numa[static_cast<std::size_t>(r)];
+    ++st.threads_per_cluster[static_cast<std::size_t>(cl)];
+  }
+  for (int n : st.threads_per_numa) {
+    if (n > 0) ++st.regions_spanned;
+    st.max_per_numa = std::max(st.max_per_numa, n);
+  }
+  for (int n : st.threads_per_cluster) {
+    st.max_per_cluster = std::max(st.max_per_cluster, n);
+  }
+  return st;
+}
+
+}  // namespace sgp::machine

@@ -1,0 +1,289 @@
+#include "machine/serialize.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sgp::machine {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void emit_cache(std::ostringstream& out, const char* name,
+                const CacheSpec& c) {
+  out << "[" << name << "]\n";
+  out << "size_kb = " << c.size_bytes / 1024 << "\n";
+  out << "line_bytes = " << c.line_bytes << "\n";
+  out << "shared_by = " << c.shared_by << "\n";
+  out << "bw_bytes_per_cycle = " << fmt(c.bw_bytes_per_cycle) << "\n";
+  out << "latency_cycles = " << fmt(c.latency_cycles) << "\n\n";
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+struct Parser {
+  std::map<std::string, std::map<std::string, std::string>> sections;
+  std::vector<std::string> numa_sections;  // in file order
+
+  explicit Parser(std::string_view text) {
+    std::string current;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      const std::size_t nl = text.find('\n', pos);
+      std::string line = trim(text.substr(
+          pos, nl == std::string_view::npos ? text.size() - pos : nl - pos));
+      pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      if (line.front() == '[') {
+        if (line.back() != ']') {
+          throw std::invalid_argument("line " + std::to_string(line_no) +
+                                      ": unterminated section header");
+        }
+        current = line.substr(1, line.size() - 2);
+        if (current.rfind("numa.", 0) == 0) {
+          numa_sections.push_back(current);
+        }
+        sections[current];  // create
+        continue;
+      }
+      const auto eq = line.find('=');
+      if (eq == std::string::npos || current.empty()) {
+        throw std::invalid_argument("line " + std::to_string(line_no) +
+                                    ": expected 'key = value'");
+      }
+      sections[current][trim(line.substr(0, eq))] =
+          trim(line.substr(eq + 1));
+    }
+  }
+
+  bool has(const std::string& section) const {
+    return sections.count(section) > 0;
+  }
+
+  const std::string& get(const std::string& section,
+                         const std::string& key) const {
+    const auto sit = sections.find(section);
+    if (sit == sections.end()) {
+      throw std::invalid_argument("missing section [" + section + "]");
+    }
+    const auto kit = sit->second.find(key);
+    if (kit == sit->second.end()) {
+      throw std::invalid_argument("missing key '" + key + "' in [" +
+                                  section + "]");
+    }
+    return kit->second;
+  }
+
+  double num(const std::string& section, const std::string& key) const {
+    const auto& v = get(section, key);
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return d;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad number '" + v + "' for " + key +
+                                  " in [" + section + "]");
+    }
+  }
+
+  double num_or(const std::string& section, const std::string& key,
+                double fallback) const {
+    const auto sit = sections.find(section);
+    if (sit == sections.end() || sit->second.count(key) == 0) {
+      return fallback;
+    }
+    return num(section, key);
+  }
+
+  bool flag(const std::string& section, const std::string& key,
+            bool fallback) const {
+    const auto sit = sections.find(section);
+    if (sit == sections.end() || sit->second.count(key) == 0) {
+      return fallback;
+    }
+    const auto& v = sit->second.at(key);
+    if (v == "true" || v == "1" || v == "yes") return true;
+    if (v == "false" || v == "0" || v == "no") return false;
+    throw std::invalid_argument("bad boolean '" + v + "' for " + key);
+  }
+};
+
+CacheSpec parse_cache(const Parser& p, const std::string& section) {
+  CacheSpec c;
+  c.size_bytes =
+      static_cast<std::size_t>(p.num(section, "size_kb")) * 1024;
+  c.line_bytes = static_cast<int>(p.num(section, "line_bytes"));
+  c.shared_by = static_cast<int>(p.num(section, "shared_by"));
+  c.bw_bytes_per_cycle = p.num(section, "bw_bytes_per_cycle");
+  c.latency_cycles = p.num(section, "latency_cycles");
+  return c;
+}
+
+}  // namespace
+
+std::string to_ini(const MachineDescriptor& m) {
+  std::ostringstream out;
+  out << "# machine descriptor for sg2042-perf tools\n";
+  out << "[machine]\n";
+  out << "name = " << m.name << "\n";
+  out << "num_cores = " << m.num_cores << "\n";
+  out << "cluster_width = "
+      << (m.clusters.empty() ? 1 : m.clusters.front().size()) << "\n\n";
+
+  const auto& c = m.core;
+  out << "[core]\n";
+  out << "clock_ghz = " << fmt(c.clock_ghz) << "\n";
+  out << "decode_width = " << c.decode_width << "\n";
+  out << "issue_width = " << c.issue_width << "\n";
+  out << "out_of_order = " << (c.out_of_order ? "true" : "false") << "\n";
+  out << "fp_pipes = " << c.fp_pipes << "\n";
+  out << "fma = " << (c.fma ? "true" : "false") << "\n";
+  out << "mem_ports = " << c.mem_ports << "\n";
+  out << "scalar_eff = " << fmt(c.scalar_eff) << "\n";
+  out << "stream_bw_gbs = " << fmt(c.stream_bw_gbs) << "\n";
+  out << "scalar_stream_derate = " << fmt(c.scalar_stream_derate) << "\n\n";
+
+  if (c.vector) {
+    out << "[vector]\n";
+    out << "isa = " << c.vector->isa << "\n";
+    out << "width_bits = " << c.vector->width_bits << "\n";
+    out << "fp32 = " << (c.vector->fp32 ? "true" : "false") << "\n";
+    out << "fp64 = " << (c.vector->fp64 ? "true" : "false") << "\n";
+    out << "efficiency_fp32 = " << fmt(c.vector->efficiency_fp32) << "\n";
+    out << "efficiency_fp64 = " << fmt(c.vector->efficiency_fp64) << "\n\n";
+  }
+
+  emit_cache(out, "l1d", m.l1d);
+  emit_cache(out, "l2", m.l2);
+  if (m.l3.present()) emit_cache(out, "l3", m.l3);
+
+  for (std::size_t r = 0; r < m.numa.size(); ++r) {
+    out << "[numa." << r << "]\n";
+    out << "cores = ";
+    for (std::size_t i = 0; i < m.numa[r].cores.size(); ++i) {
+      if (i) out << ",";
+      out << m.numa[r].cores[i];
+    }
+    out << "\n";
+    out << "controllers = " << m.numa[r].controllers << "\n";
+    out << "mem_bw_gbs = " << fmt(m.numa[r].mem_bw_gbs) << "\n\n";
+  }
+
+  out << "[sync]\n";
+  out << "fork_join_us = " << fmt(m.fork_join_us) << "\n";
+  out << "barrier_us_per_thread = " << fmt(m.barrier_us_per_thread) << "\n";
+  out << "numa_span_sync_factor = " << fmt(m.numa_span_sync_factor)
+      << "\n\n";
+
+  out << "[memory]\n";
+  out << "mem_latency_ns = " << fmt(m.mem_latency_ns) << "\n";
+  out << "cluster_bw_gbs = " << fmt(m.cluster_bw_gbs) << "\n";
+  out << "remote_numa_penalty = " << fmt(m.remote_numa_penalty) << "\n";
+  out << "oversubscribe_gamma = " << fmt(m.oversubscribe_gamma) << "\n";
+  out << "oversubscribe_knee = " << fmt(m.oversubscribe_knee) << "\n";
+  out << "l3_memory_side = " << (m.l3_memory_side ? "true" : "false")
+      << "\n";
+  out << "memory_derating = " << fmt(m.memory_derating) << "\n";
+  out << "atomic_rtt_ns = " << fmt(m.atomic_rtt_ns) << "\n";
+  return out.str();
+}
+
+MachineDescriptor from_ini(std::string_view text) {
+  const Parser p(text);
+  MachineDescriptor m;
+  m.name = p.get("machine", "name");
+  m.num_cores = static_cast<int>(p.num("machine", "num_cores"));
+  const int cluster_width =
+      static_cast<int>(p.num_or("machine", "cluster_width", 1));
+  if (cluster_width < 1) {
+    throw std::invalid_argument("cluster_width must be >= 1");
+  }
+
+  CoreSpec c;
+  c.clock_ghz = p.num("core", "clock_ghz");
+  c.decode_width = static_cast<int>(p.num("core", "decode_width"));
+  c.issue_width = static_cast<int>(p.num("core", "issue_width"));
+  c.out_of_order = p.flag("core", "out_of_order", false);
+  c.fp_pipes = static_cast<int>(p.num("core", "fp_pipes"));
+  c.fma = p.flag("core", "fma", true);
+  c.mem_ports = static_cast<int>(p.num("core", "mem_ports"));
+  c.scalar_eff = p.num("core", "scalar_eff");
+  c.stream_bw_gbs = p.num("core", "stream_bw_gbs");
+  c.scalar_stream_derate =
+      p.num_or("core", "scalar_stream_derate", 1.0);
+  if (p.has("vector")) {
+    VectorUnit v;
+    v.isa = p.get("vector", "isa");
+    v.width_bits = static_cast<int>(p.num("vector", "width_bits"));
+    v.fp32 = p.flag("vector", "fp32", true);
+    v.fp64 = p.flag("vector", "fp64", true);
+    v.efficiency_fp32 = p.num("vector", "efficiency_fp32");
+    v.efficiency_fp64 = p.num("vector", "efficiency_fp64");
+    c.vector = v;
+  }
+  m.core = c;
+
+  m.l1d = parse_cache(p, "l1d");
+  m.l2 = parse_cache(p, "l2");
+  if (p.has("l3")) m.l3 = parse_cache(p, "l3");
+
+  for (const auto& section : p.numa_sections) {
+    NumaRegion r;
+    std::stringstream ss(p.get(section, "cores"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      r.cores.push_back(std::stoi(trim(item)));
+    }
+    r.controllers = static_cast<int>(p.num(section, "controllers"));
+    r.mem_bw_gbs = p.num(section, "mem_bw_gbs");
+    m.numa.push_back(std::move(r));
+  }
+
+  for (int base = 0; base < m.num_cores; base += cluster_width) {
+    std::vector<int> cl;
+    for (int i = 0; i < cluster_width && base + i < m.num_cores; ++i) {
+      cl.push_back(base + i);
+    }
+    m.clusters.push_back(std::move(cl));
+  }
+  m.l2.shared_by = cluster_width;
+
+  m.fork_join_us = p.num_or("sync", "fork_join_us", 2.0);
+  m.barrier_us_per_thread =
+      p.num_or("sync", "barrier_us_per_thread", 0.1);
+  m.numa_span_sync_factor =
+      p.num_or("sync", "numa_span_sync_factor", 1.25);
+
+  m.mem_latency_ns = p.num_or("memory", "mem_latency_ns", 100.0);
+  m.cluster_bw_gbs = p.num_or("memory", "cluster_bw_gbs", 0.0);
+  m.remote_numa_penalty =
+      p.num_or("memory", "remote_numa_penalty", 1.5);
+  m.oversubscribe_gamma =
+      p.num_or("memory", "oversubscribe_gamma", 0.2);
+  m.oversubscribe_knee = p.num_or("memory", "oversubscribe_knee", 0.0);
+  m.l3_memory_side = p.flag("memory", "l3_memory_side", false);
+  m.memory_derating = p.num_or("memory", "memory_derating", 1.0);
+  m.atomic_rtt_ns = p.num_or("memory", "atomic_rtt_ns", 40.0);
+
+  m.validate();
+  return m;
+}
+
+}  // namespace sgp::machine

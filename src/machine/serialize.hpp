@@ -1,0 +1,28 @@
+// Textual (INI-style) serialization of machine descriptors, so users
+// can define their own CPUs for the placement/roofline/simulation tools
+// without recompiling.
+//
+// Format: `[section]` headers with `key = value` lines; `#` comments.
+// Sections: [machine], [core], [vector] (optional), [l1d], [l2],
+// [l3] (optional), [numa.N] (one per region), [sync], [memory].
+// Cluster geometry is given as cluster_width in [machine] (clusters are
+// consecutive core ids, as on the SG2042).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "machine/descriptor.hpp"
+
+namespace sgp::machine {
+
+/// Renders a descriptor to the INI text form. Round-trips with
+/// from_ini() for descriptors whose clusters are consecutive id blocks.
+std::string to_ini(const MachineDescriptor& m);
+
+/// Parses the INI text form; validates the result before returning.
+/// Throws std::invalid_argument with a line-localised message on any
+/// syntax or consistency error.
+MachineDescriptor from_ini(std::string_view text);
+
+}  // namespace sgp::machine

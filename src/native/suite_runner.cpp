@@ -1,0 +1,50 @@
+#include "native/suite_runner.hpp"
+
+#include "threading/pool.hpp"
+
+namespace sgp::native {
+
+SuiteRunner::SuiteRunner(const core::Registry& registry, core::RunParams rp)
+    : registry_(registry), rp_(rp) {
+  if (rp_.num_threads <= 1) {
+    exec_ = std::make_unique<core::SerialExecutor>();
+  } else {
+    exec_ = std::make_unique<threading::ThreadPool>(rp_.num_threads);
+  }
+}
+
+SuiteRunner::~SuiteRunner() = default;
+
+KernelRunRecord SuiteRunner::run_one(std::string_view name,
+                                     core::Precision p) {
+  auto kernel = registry_.create(name);
+  const auto result = kernel->run_native(p, rp_, *exec_);
+  KernelRunRecord rec;
+  rec.name = kernel->name();
+  rec.group = kernel->group();
+  rec.precision = p;
+  rec.checksum = result.checksum;
+  rec.seconds = result.seconds;
+  rec.reps = result.reps;
+  rec.threads = rp_.num_threads;
+  return rec;
+}
+
+std::vector<KernelRunRecord> SuiteRunner::run_all(core::Precision p) {
+  std::vector<KernelRunRecord> out;
+  for (const auto& name : registry_.names()) {
+    out.push_back(run_one(name, p));
+  }
+  return out;
+}
+
+std::vector<KernelRunRecord> SuiteRunner::run_group(core::Group g,
+                                                    core::Precision p) {
+  std::vector<KernelRunRecord> out;
+  for (const auto& name : registry_.names(g)) {
+    out.push_back(run_one(name, p));
+  }
+  return out;
+}
+
+}  // namespace sgp::native

@@ -1,0 +1,53 @@
+// Native execution backend: really runs kernels (serial or on the
+// thread pool), timing them and collecting checksums.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/run_params.hpp"
+#include "core/types.hpp"
+
+namespace sgp::native {
+
+struct KernelRunRecord {
+  std::string name;
+  core::Group group = core::Group::Basic;
+  core::Precision precision = core::Precision::FP64;
+  long double checksum = 0.0L;
+  double seconds = 0.0;
+  std::size_t reps = 0;
+  int threads = 1;
+
+  double seconds_per_rep() const {
+    return reps == 0 ? 0.0 : seconds / static_cast<double>(reps);
+  }
+};
+
+class SuiteRunner {
+ public:
+  /// The registry must outlive the runner. Spawns rp.num_threads workers.
+  SuiteRunner(const core::Registry& registry, core::RunParams rp);
+  ~SuiteRunner();
+
+  SuiteRunner(const SuiteRunner&) = delete;
+  SuiteRunner& operator=(const SuiteRunner&) = delete;
+
+  /// Runs one kernel; throws std::out_of_range for unknown names.
+  KernelRunRecord run_one(std::string_view name, core::Precision p);
+
+  /// Runs the whole suite (registry order).
+  std::vector<KernelRunRecord> run_all(core::Precision p);
+
+  /// Runs every kernel of one group.
+  std::vector<KernelRunRecord> run_group(core::Group g, core::Precision p);
+
+ private:
+  const core::Registry& registry_;
+  core::RunParams rp_;
+  std::unique_ptr<core::Executor> exec_;
+};
+
+}  // namespace sgp::native

@@ -1,0 +1,27 @@
+// CSV emission for bench binaries (--csv <dir> writes one file per
+// artifact so results can be plotted externally).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sgp::report {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// RFC-4180-style text (quotes cells containing commas/quotes).
+  std::string text() const;
+
+  /// Writes to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sgp::report

@@ -1,0 +1,42 @@
+#include "report/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sgp::report {
+
+double arithmetic_mean(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("arithmetic_mean: empty input");
+  }
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("geometric_mean: empty input");
+  }
+  double logsum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument("geometric_mean: non-positive value");
+    }
+    logsum += std::log(v);
+  }
+  return std::exp(logsum / static_cast<double>(values.size()));
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.mean = arithmetic_mean(values);
+  s.geomean = geometric_mean(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.count = values.size();
+  return s;
+}
+
+}  // namespace sgp::report

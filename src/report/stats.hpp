@@ -1,0 +1,25 @@
+// Aggregation helpers for the paper's bars (class averages) and whiskers
+// (min/max ranges).
+#pragma once
+
+#include <span>
+
+namespace sgp::report {
+
+struct Summary {
+  double mean = 0.0;
+  double geomean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Arithmetic + geometric mean and min/max of a non-empty series.
+/// Throws std::invalid_argument on empty input or, for the geomean, on
+/// non-positive values.
+Summary summarize(std::span<const double> values);
+
+double arithmetic_mean(std::span<const double> values);
+double geometric_mean(std::span<const double> values);
+
+}  // namespace sgp::report

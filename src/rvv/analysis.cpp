@@ -1,0 +1,78 @@
+#include "rvv/analysis.hpp"
+
+#include <sstream>
+
+namespace sgp::rvv {
+
+namespace {
+
+bool is_vsetvl(const std::string& m) {
+  return m == "vsetvli" || m == "vsetivli" || m == "vsetvl";
+}
+
+bool is_vector_memory(const std::string& m) {
+  // All vector loads/stores start with vl/vs and end in ".v"; this
+  // covers both dialects' unit-stride, strided, indexed and
+  // fault-only-first forms, and excludes arithmetic like vsll/vsub via
+  // the explicit prefix list.
+  if (m.size() < 4 || m.compare(m.size() - 2, 2, ".v") != 0) return false;
+  for (const char* p : {"vle", "vls", "vlx", "vlu", "vlo", "vlb", "vlh",
+                        "vlw", "vl1", "vse", "vss", "vsx", "vsu", "vso",
+                        "vsb", "vsh", "vsw", "vs1"}) {
+    if (m.rfind(p, 0) == 0) {
+      // Disambiguate arithmetic false friends.
+      if (m.rfind("vsext", 0) == 0) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_branch(const std::string& m) {
+  return m == "beq" || m == "bne" || m == "blt" || m == "bge" ||
+         m == "bltu" || m == "bgeu" || m == "beqz" || m == "bnez" ||
+         m == "j" || m == "jal" || m == "jalr";
+}
+
+}  // namespace
+
+InstructionMix analyze(const Program& p) {
+  InstructionMix mix;
+  for (const auto& line : p.lines) {
+    if (line.kind != LineKind::Instruction) continue;
+    ++mix.total;
+    ++mix.by_mnemonic[line.mnemonic];
+    if (is_vsetvl(line.mnemonic)) {
+      ++mix.vsetvl;
+      continue;
+    }
+    if (line.is_vector()) {
+      ++mix.vector;
+      if (is_vector_memory(line.mnemonic)) {
+        ++mix.vector_memory;
+      } else {
+        ++mix.vector_arithmetic;
+      }
+      continue;
+    }
+    ++mix.scalar;
+    if (is_branch(line.mnemonic)) ++mix.branches;
+  }
+  return mix;
+}
+
+std::string render_mix(const InstructionMix& mix) {
+  std::ostringstream out;
+  out << "instructions: " << mix.total << "\n";
+  out << "  vector:     " << mix.vector << " ("
+      << static_cast<int>(100.0 * mix.vector_ratio() + 0.5) << "%)\n";
+  out << "    memory:   " << mix.vector_memory << "\n";
+  out << "    arith:    " << mix.vector_arithmetic << "\n";
+  out << "  vsetvl*:    " << mix.vsetvl << "\n";
+  out << "  scalar:     " << mix.scalar << " (branches " << mix.branches
+      << ")\n";
+  out << "  arith/mem:  " << mix.arith_per_mem() << "\n";
+  return out.str();
+}
+
+}  // namespace sgp::rvv

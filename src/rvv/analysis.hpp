@@ -1,0 +1,41 @@
+// Static analysis over parsed RVV assembly: instruction-mix histograms
+// and derived metrics (vector ratio, memory/arithmetic balance). Used by
+// the rollback tool's --stats mode and by the vectorisation tooling.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rvv/ir.hpp"
+
+namespace sgp::rvv {
+
+struct InstructionMix {
+  std::map<std::string, std::size_t> by_mnemonic;
+  std::size_t total = 0;
+  std::size_t vector = 0;
+  std::size_t vector_memory = 0;      ///< vector loads/stores
+  std::size_t vector_arithmetic = 0;  ///< vector ALU/FP ops
+  std::size_t vsetvl = 0;             ///< vsetvli/vsetivli/vsetvl
+  std::size_t scalar = 0;
+  std::size_t branches = 0;
+
+  /// Fraction of instructions that are vector ops (0 when empty).
+  double vector_ratio() const {
+    return total == 0 ? 0.0 : static_cast<double>(vector) / total;
+  }
+  /// Vector arithmetic per vector memory op (0 when no memory ops).
+  double arith_per_mem() const {
+    return vector_memory == 0
+               ? 0.0
+               : static_cast<double>(vector_arithmetic) / vector_memory;
+  }
+};
+
+/// Computes the mix of a whole program (labels/directives ignored).
+InstructionMix analyze(const Program& p);
+
+/// Renders the mix as a short human-readable report.
+std::string render_mix(const InstructionMix& mix);
+
+}  // namespace sgp::rvv

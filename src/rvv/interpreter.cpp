@@ -1,0 +1,355 @@
+#include "rvv/interpreter.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sgp::rvv {
+
+namespace {
+
+bool parse_int(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  std::size_t used = 0;
+  try {
+    out = std::stoll(s, &used, 0);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return used == s.size();
+}
+
+int sew_of_token(const std::string& tok) {
+  if (tok == "e8") return 8;
+  if (tok == "e16") return 16;
+  if (tok == "e32") return 32;
+  if (tok == "e64") return 64;
+  return 0;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(std::size_t mem_bytes, int vlen_bits)
+    : vlen_bits_(vlen_bits), mem_(mem_bytes, 0) {
+  if (vlen_bits < 64 || vlen_bits % 64 != 0) {
+    throw std::invalid_argument("Interpreter: VLEN must be a multiple of 64");
+  }
+  x_["zero"] = 0;
+  x_["x0"] = 0;
+}
+
+void Interpreter::set_x(const std::string& reg, std::int64_t value) {
+  if (reg != "zero" && reg != "x0") x_[reg] = value;
+}
+
+std::int64_t Interpreter::x(const std::string& reg) const {
+  if (reg == "zero" || reg == "x0") return 0;
+  const auto it = x_.find(reg);
+  return it == x_.end() ? 0 : it->second;
+}
+
+void Interpreter::set_f(const std::string& reg, double value) {
+  f_[reg] = value;
+}
+
+double Interpreter::f(const std::string& reg) const {
+  const auto it = f_.find(reg);
+  return it == f_.end() ? 0.0 : it->second;
+}
+
+void Interpreter::store_f32(std::uint64_t addr,
+                            const std::vector<float>& data) {
+  if (addr + data.size() * 4 > mem_.size()) {
+    throw std::out_of_range("store_f32: out of memory range");
+  }
+  std::memcpy(mem_.data() + addr, data.data(), data.size() * 4);
+}
+
+void Interpreter::store_f64(std::uint64_t addr,
+                            const std::vector<double>& data) {
+  if (addr + data.size() * 8 > mem_.size()) {
+    throw std::out_of_range("store_f64: out of memory range");
+  }
+  std::memcpy(mem_.data() + addr, data.data(), data.size() * 8);
+}
+
+std::vector<float> Interpreter::load_f32(std::uint64_t addr,
+                                         std::size_t count) const {
+  if (addr + count * 4 > mem_.size()) {
+    throw std::out_of_range("load_f32: out of memory range");
+  }
+  std::vector<float> out(count);
+  std::memcpy(out.data(), mem_.data() + addr, count * 4);
+  return out;
+}
+
+std::vector<double> Interpreter::load_f64(std::uint64_t addr,
+                                          std::size_t count) const {
+  if (addr + count * 8 > mem_.size()) {
+    throw std::out_of_range("load_f64: out of memory range");
+  }
+  std::vector<double> out(count);
+  std::memcpy(out.data(), mem_.data() + addr, count * 8);
+  return out;
+}
+
+double Interpreter::vreg_lane(const std::string& reg, int lane) const {
+  const auto it = v_.find(reg);
+  if (it == v_.end()) return 0.0;
+  const auto& bytes = it->second;
+  if (sew_ == 32) {
+    float v = 0;
+    std::memcpy(&v, bytes.data() + lane * 4, 4);
+    return v;
+  }
+  double v = 0;
+  std::memcpy(&v, bytes.data() + lane * 8, 8);
+  return v;
+}
+
+void Interpreter::set_vreg_lane(const std::string& reg, int lane,
+                                double value) {
+  auto& bytes = v_[reg];
+  if (bytes.empty()) {
+    bytes.assign(static_cast<std::size_t>(vlen_bits_ / 8), 0);
+  }
+  if (sew_ == 32) {
+    const float v = static_cast<float>(value);
+    std::memcpy(bytes.data() + lane * 4, &v, 4);
+  } else {
+    std::memcpy(bytes.data() + lane * 8, &value, 8);
+  }
+}
+
+std::uint64_t Interpreter::mem_operand_addr(const std::string& operand,
+                                            std::size_t line) const {
+  // Forms: "(a1)" and "<imm>(a1)".
+  const auto open = operand.find('(');
+  const auto close = operand.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    throw ExecError(line, "bad memory operand '" + operand + "'");
+  }
+  std::int64_t offset = 0;
+  if (open > 0 && !parse_int(operand.substr(0, open), offset)) {
+    throw ExecError(line, "bad memory offset in '" + operand + "'");
+  }
+  const std::string reg = operand.substr(open + 1, close - open - 1);
+  return static_cast<std::uint64_t>(x(reg) + offset);
+}
+
+std::int64_t Interpreter::value_of(const std::string& operand,
+                                   std::size_t line) const {
+  std::int64_t imm = 0;
+  if (parse_int(operand, imm)) return imm;
+  if (operand.empty()) throw ExecError(line, "empty operand");
+  return x(operand);
+}
+
+Interpreter::RunResult Interpreter::run(const Program& program,
+                                        std::size_t max_steps) {
+  // Resolve labels.
+  std::map<std::string, std::size_t> labels;
+  for (std::size_t i = 0; i < program.lines.size(); ++i) {
+    const auto& l = program.lines[i];
+    if (l.kind == LineKind::Label) {
+      labels[l.text.substr(0, l.text.size() - 1)] = i;
+    }
+  }
+  auto jump_target = [&](const std::string& name,
+                         std::size_t line) -> std::size_t {
+    const auto it = labels.find(name);
+    if (it == labels.end()) {
+      throw ExecError(line, "unknown label '" + name + "'");
+    }
+    return it->second;
+  };
+
+  RunResult result;
+  std::size_t pc = 0;
+  while (pc < program.lines.size()) {
+    if (result.instructions_executed >= max_steps) {
+      throw ExecError(program.lines[pc].source_line,
+                      "instruction limit exceeded");
+    }
+    const auto& l = program.lines[pc];
+    if (l.kind != LineKind::Instruction) {
+      ++pc;
+      continue;
+    }
+    ++result.instructions_executed;
+    const auto& m = l.mnemonic;
+    const auto& ops = l.operands;
+    const std::size_t line = l.source_line;
+    auto need = [&](std::size_t n) {
+      if (ops.size() < n) {
+        throw ExecError(line, m + ": expected " + std::to_string(n) +
+                                  " operands");
+      }
+    };
+
+    // --- control flow ---
+    if (m == "ret") break;
+    if (m == "bnez") {
+      need(2);
+      pc = x(ops[0]) != 0 ? jump_target(ops[1], line) : pc + 1;
+      continue;
+    }
+    if (m == "beqz") {
+      need(2);
+      pc = x(ops[0]) == 0 ? jump_target(ops[1], line) : pc + 1;
+      continue;
+    }
+    if (m == "bge") {
+      need(3);
+      pc = x(ops[0]) >= value_of(ops[1], line) ? jump_target(ops[2], line)
+                                               : pc + 1;
+      continue;
+    }
+    if (m == "blt") {
+      need(3);
+      pc = x(ops[0]) < value_of(ops[1], line) ? jump_target(ops[2], line)
+                                              : pc + 1;
+      continue;
+    }
+
+    // --- scalar integer ---
+    if (m == "li") {
+      need(2);
+      set_x(ops[0], value_of(ops[1], line));
+    } else if (m == "add") {
+      need(3);
+      set_x(ops[0], x(ops[1]) + value_of(ops[2], line));
+    } else if (m == "addi") {
+      need(3);
+      set_x(ops[0], x(ops[1]) + value_of(ops[2], line));
+    } else if (m == "sub") {
+      need(3);
+      set_x(ops[0], x(ops[1]) - x(ops[2]));
+    } else if (m == "slli") {
+      need(3);
+      set_x(ops[0], x(ops[1]) << value_of(ops[2], line));
+
+      // --- scalar float ---
+    } else if (m == "flw") {
+      need(2);
+      const auto addr = mem_operand_addr(ops[1], line);
+      set_f(ops[0], static_cast<double>(load_f32(addr, 1)[0]));
+    } else if (m == "fld") {
+      need(2);
+      set_f(ops[0], load_f64(mem_operand_addr(ops[1], line), 1)[0]);
+    } else if (m == "fsw") {
+      need(2);
+      store_f32(mem_operand_addr(ops[1], line),
+                {static_cast<float>(f(ops[0]))});
+    } else if (m == "fsd") {
+      need(2);
+      store_f64(mem_operand_addr(ops[1], line), {f(ops[0])});
+    } else if (m == "fmadd.s" || m == "fmadd.d") {
+      need(4);
+      set_f(ops[0], f(ops[1]) * f(ops[2]) + f(ops[3]));
+    } else if (m == "fmul.s" || m == "fmul.d") {
+      need(3);
+      set_f(ops[0], f(ops[1]) * f(ops[2]));
+    } else if (m == "fadd.s" || m == "fadd.d") {
+      need(3);
+      set_f(ops[0], f(ops[1]) + f(ops[2]));
+
+      // --- vector configuration ---
+    } else if (m == "vsetvli") {
+      need(3);
+      ++result.strips;
+      for (std::size_t i = 2; i < ops.size(); ++i) {
+        if (const int s = sew_of_token(ops[i])) sew_ = s;
+      }
+      const int vlmax = vlen_bits_ / sew_;
+      const std::int64_t avl = x(ops[1]);
+      vl_ = static_cast<int>(std::min<std::int64_t>(avl, vlmax));
+      set_x(ops[0], vl_);
+
+      // --- vector memory ---
+    } else if (m == "vle.v" || m == "vle32.v" || m == "vle64.v") {
+      need(2);
+      if ((m == "vle32.v" && sew_ != 32) || (m == "vle64.v" && sew_ != 64)) {
+        throw ExecError(line, m + " under SEW=" + std::to_string(sew_));
+      }
+      const auto addr = mem_operand_addr(ops[1], line);
+      for (int lane = 0; lane < vl_; ++lane) {
+        const double v =
+            sew_ == 32
+                ? static_cast<double>(load_f32(addr + lane * 4ull, 1)[0])
+                : load_f64(addr + lane * 8ull, 1)[0];
+        set_vreg_lane(ops[0], lane, v);
+      }
+    } else if (m == "vse.v" || m == "vse32.v" || m == "vse64.v") {
+      need(2);
+      const auto addr = mem_operand_addr(ops[1], line);
+      for (int lane = 0; lane < vl_; ++lane) {
+        const double v = vreg_lane(ops[0], lane);
+        if (sew_ == 32) {
+          store_f32(addr + lane * 4ull, {static_cast<float>(v)});
+        } else {
+          store_f64(addr + lane * 8ull, {v});
+        }
+      }
+
+      // --- vector arithmetic ---
+    } else if (m == "vfmacc.vv") {
+      need(3);
+      for (int lane = 0; lane < vl_; ++lane) {
+        set_vreg_lane(ops[0], lane,
+                      vreg_lane(ops[0], lane) +
+                          vreg_lane(ops[1], lane) * vreg_lane(ops[2], lane));
+      }
+    } else if (m == "vfmul.vv") {
+      need(3);
+      for (int lane = 0; lane < vl_; ++lane) {
+        set_vreg_lane(ops[0], lane,
+                      vreg_lane(ops[1], lane) * vreg_lane(ops[2], lane));
+      }
+    } else if (m == "vfadd.vv") {
+      need(3);
+      for (int lane = 0; lane < vl_; ++lane) {
+        set_vreg_lane(ops[0], lane,
+                      vreg_lane(ops[1], lane) + vreg_lane(ops[2], lane));
+      }
+    } else if (m == "vxor.vv") {
+      need(3);
+      // Used only as "zero the register" (vxor v, v, v) by the codegen.
+      if (ops[0] == ops[1] && ops[1] == ops[2]) {
+        const int lanes = vlen_bits_ / sew_;
+        for (int lane = 0; lane < lanes; ++lane) {
+          set_vreg_lane(ops[0], lane, 0.0);
+        }
+      } else {
+        throw ExecError(line, "general vxor.vv not supported");
+      }
+    } else if (m == "vmv.v.v") {
+      need(2);
+      for (int lane = 0; lane < vl_; ++lane) {
+        set_vreg_lane(ops[0], lane, vreg_lane(ops[1], lane));
+      }
+
+      // --- reductions / extracts ---
+    } else if (m == "vfredusum.vs" || m == "vfredsum.vs" ||
+               m == "vfredosum.vs") {
+      need(3);
+      // vd[0] = sum(vs2[*]) + vs1[0]; we sum over VLMAX lanes because
+      // the accumulator was built over full strips.
+      const int lanes = vlen_bits_ / sew_;
+      double sum = vreg_lane(ops[2], 0);
+      for (int lane = 0; lane < lanes; ++lane) {
+        sum += vreg_lane(ops[1], lane);
+      }
+      set_vreg_lane(ops[0], 0, sum);
+    } else if (m == "vfmv.f.s") {
+      need(2);
+      set_f(ops[0], vreg_lane(ops[1], 0));
+    } else {
+      throw ExecError(line, "unsupported instruction '" + m + "'");
+    }
+    ++pc;
+  }
+  return result;
+}
+
+}  // namespace sgp::rvv

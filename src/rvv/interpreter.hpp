@@ -1,0 +1,78 @@
+// A functional interpreter for the RVV IR: executes programs (both
+// dialects) against real registers and a flat memory, so the rollback
+// pass can be validated *semantically* — the v1.0 input and its v0.7.1
+// output must compute identical results, and VLA code must produce the
+// same results at any VLEN.
+//
+// Coverage: the scalar and vector instructions that `emit_loop` and
+// `rollback` produce (loads/stores, FP arithmetic, reductions, vsetvli,
+// branches, pointer arithmetic). Unknown instructions raise ExecError.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rvv/ir.hpp"
+
+namespace sgp::rvv {
+
+struct ExecError : std::runtime_error {
+  ExecError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_number(line) {}
+  std::size_t line_number;
+};
+
+class Interpreter {
+ public:
+  /// `mem_bytes` of zeroed memory; VLEN in bits (vector register width).
+  explicit Interpreter(std::size_t mem_bytes, int vlen_bits = 128);
+
+  // --- state access (for test setup/inspection) ---
+  void set_x(const std::string& reg, std::int64_t value);
+  std::int64_t x(const std::string& reg) const;
+  void set_f(const std::string& reg, double value);
+  double f(const std::string& reg) const;
+
+  /// Writes an FP32/FP64 array into memory at `addr`.
+  void store_f32(std::uint64_t addr, const std::vector<float>& data);
+  void store_f64(std::uint64_t addr, const std::vector<double>& data);
+  std::vector<float> load_f32(std::uint64_t addr, std::size_t count) const;
+  std::vector<double> load_f64(std::uint64_t addr,
+                               std::size_t count) const;
+
+  int vlen_bits() const noexcept { return vlen_bits_; }
+  int vl() const noexcept { return vl_; }
+  int sew() const noexcept { return sew_; }
+
+  struct RunResult {
+    std::size_t instructions_executed = 0;
+    std::size_t strips = 0;  ///< vsetvli executions
+  };
+
+  /// Executes from the first line until `ret` (or the program's end).
+  /// Throws ExecError on unknown instructions, bad memory accesses or
+  /// when `max_steps` is exceeded (runaway loop guard).
+  RunResult run(const Program& program, std::size_t max_steps = 2'000'000);
+
+ private:
+  double vreg_lane(const std::string& reg, int lane) const;
+  void set_vreg_lane(const std::string& reg, int lane, double value);
+  std::uint64_t mem_operand_addr(const std::string& operand,
+                                 std::size_t line) const;
+  std::int64_t value_of(const std::string& operand,
+                        std::size_t line) const;
+
+  int vlen_bits_;
+  int vl_ = 0;
+  int sew_ = 32;
+  std::map<std::string, std::int64_t> x_;
+  std::map<std::string, double> f_;
+  std::map<std::string, std::vector<std::uint8_t>> v_;
+  std::vector<std::uint8_t> mem_;
+};
+
+}  // namespace sgp::rvv

@@ -1,0 +1,265 @@
+#include "rvv/ir.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sgp::rvv {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Vector mnemonics shared by both dialects (arithmetic, moves, masks and
+/// reductions that did not change name between v0.7.1 and v1.0).
+const std::set<std::string, std::less<>>& common_vector_mnemonics() {
+  static const std::set<std::string, std::less<>> s{
+      // integer arithmetic
+      "vadd.vv", "vadd.vx", "vadd.vi", "vsub.vv", "vsub.vx", "vrsub.vx",
+      "vmul.vv", "vmul.vx", "vmulh.vv", "vdiv.vv", "vrem.vv",
+      "vand.vv", "vand.vx", "vand.vi", "vor.vv", "vor.vx", "vor.vi",
+      "vxor.vv", "vxor.vx", "vxor.vi", "vsll.vv", "vsll.vx", "vsll.vi",
+      "vsrl.vv", "vsrl.vx", "vsrl.vi", "vsra.vv", "vsra.vx", "vsra.vi",
+      "vmin.vv", "vmin.vx", "vmax.vv", "vmax.vx", "vminu.vv", "vmaxu.vv",
+      "vmacc.vv", "vmacc.vx", "vnmsac.vv", "vmadd.vv", "vnmsub.vv",
+      // fp arithmetic
+      "vfadd.vv", "vfadd.vf", "vfsub.vv", "vfsub.vf", "vfrsub.vf",
+      "vfmul.vv", "vfmul.vf", "vfdiv.vv", "vfdiv.vf", "vfrdiv.vf",
+      "vfsqrt.v", "vfmin.vv", "vfmin.vf", "vfmax.vv", "vfmax.vf",
+      "vfmacc.vv", "vfmacc.vf", "vfnmacc.vv", "vfnmacc.vf",
+      "vfmsac.vv", "vfmsac.vf", "vfnmsac.vv", "vfnmsac.vf",
+      "vfmadd.vv", "vfmadd.vf", "vfmsub.vv", "vfmsub.vf",
+      "vfneg.v", "vfabs.v", "vfsgnj.vv", "vfsgnjn.vv", "vfsgnjx.vv",
+      // compares
+      "vmseq.vv", "vmsne.vv", "vmslt.vv", "vmsle.vv", "vmsgt.vx",
+      "vmfeq.vv", "vmfne.vv", "vmflt.vv", "vmfle.vv", "vmfgt.vf",
+      // moves / splats
+      "vmv.v.v", "vmv.v.x", "vmv.v.i", "vfmv.v.f", "vmv.s.x", "vfmv.s.f",
+      "vfmv.f.s",
+      // slides / permutation
+      "vslideup.vx", "vslideup.vi", "vslidedown.vx", "vslidedown.vi",
+      "vslide1up.vx", "vslide1down.vx", "vrgather.vv", "vrgather.vx",
+      "vcompress.vm",
+      // mask ops (unchanged names)
+      "vmand.mm", "vmor.mm", "vmxor.mm", "vmnand.mm", "vmnor.mm",
+      "vmxnor.mm", "vfirst.m", "vid.v", "viota.m", "vmsbf.m", "vmsif.m",
+      "vmsof.m",
+      // reductions (unchanged)
+      "vredsum.vs", "vredmax.vs", "vredmin.vs", "vredand.vs", "vredor.vs",
+      "vredxor.vs", "vfredosum.vs", "vfredmax.vs", "vfredmin.vs",
+      // widening fp
+      "vfwadd.vv", "vfwmul.vv", "vfwmacc.vv", "vfwcvt.f.f.v",
+      "vfncvt.f.f.w",
+      // int<->fp conversions
+      "vfcvt.f.x.v", "vfcvt.x.f.v", "vfcvt.rtz.x.f.v",
+      "vmerge.vvm", "vfmerge.vfm", "vadc.vvm",
+  };
+  return s;
+}
+
+/// Mnemonics that exist only in RVV v1.0.
+const std::set<std::string, std::less<>>& v1_only_mnemonics() {
+  static const std::set<std::string, std::less<>> s{
+      "vsetivli",
+      // typed unit-stride / strided / indexed loads & stores
+      "vle8.v", "vle16.v", "vle32.v", "vle64.v",
+      "vse8.v", "vse16.v", "vse32.v", "vse64.v",
+      "vlse8.v", "vlse16.v", "vlse32.v", "vlse64.v",
+      "vsse8.v", "vsse16.v", "vsse32.v", "vsse64.v",
+      "vluxei8.v", "vluxei16.v", "vluxei32.v", "vluxei64.v",
+      "vloxei8.v", "vloxei16.v", "vloxei32.v", "vloxei64.v",
+      "vsuxei8.v", "vsuxei16.v", "vsuxei32.v", "vsuxei64.v",
+      "vsoxei8.v", "vsoxei16.v", "vsoxei32.v", "vsoxei64.v",
+      // fault-only-first
+      "vle8ff.v", "vle16ff.v", "vle32ff.v", "vle64ff.v",
+      // whole-register ops
+      "vl1r.v", "vl2r.v", "vl4r.v", "vl8r.v", "vl1re32.v", "vl1re64.v",
+      "vs1r.v", "vs2r.v", "vs4r.v", "vs8r.v",
+      "vmv1r.v", "vmv2r.v", "vmv4r.v", "vmv8r.v",
+      // renamed in 1.0
+      "vcpop.m", "vmandn.mm", "vmorn.mm", "vmnot.m", "vfredusum.vs",
+      "vmv.x.s",
+      // new in 1.0
+      "vzext.vf2", "vzext.vf4", "vzext.vf8",
+      "vsext.vf2", "vsext.vf4", "vsext.vf8",
+      "vfslide1up.vf", "vfslide1down.vf",
+  };
+  return s;
+}
+
+/// Mnemonics that exist only in RVV v0.7.1.
+const std::set<std::string, std::less<>>& v071_only_mnemonics() {
+  static const std::set<std::string, std::less<>> s{
+      // width-typed loads/stores (b/h/w signed, bu/hu/wu unsigned,
+      // e = SEW-width)
+      "vlb.v", "vlh.v", "vlw.v", "vlbu.v", "vlhu.v", "vlwu.v", "vle.v",
+      "vsb.v", "vsh.v", "vsw.v", "vse.v",
+      "vlsb.v", "vlsh.v", "vlsw.v", "vlsbu.v", "vlshu.v", "vlswu.v",
+      "vlse.v", "vssb.v", "vssh.v", "vssw.v", "vsse.v",
+      "vlxb.v", "vlxh.v", "vlxw.v", "vlxbu.v", "vlxhu.v", "vlxwu.v",
+      "vlxe.v", "vsxb.v", "vsxh.v", "vsxw.v", "vsxe.v",
+      // fault-only-first
+      "vlbff.v", "vlhff.v", "vlwff.v", "vleff.v",
+      // renamed by 1.0
+      "vpopc.m", "vmandnot.mm", "vmornot.mm", "vfredsum.vs",
+      "vext.x.v",
+  };
+  return s;
+}
+
+}  // namespace
+
+Program parse(std::string_view text) {
+  Program prog;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view raw =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    Line line;
+    line.source_line = line_no;
+
+    // Split off trailing comment.
+    std::string comment;
+    if (const auto h = raw.find('#'); h != std::string_view::npos) {
+      comment = std::string(raw.substr(h));
+      raw = raw.substr(0, h);
+    }
+    const std::string_view body = trim(raw);
+
+    if (body.empty()) {
+      if (!comment.empty()) {
+        line.kind = LineKind::Comment;
+        line.text = comment;
+      } else {
+        line.kind = LineKind::Blank;
+      }
+      prog.lines.push_back(std::move(line));
+      continue;
+    }
+    if (body.back() == ':') {
+      if (body.size() == 1) throw ParseError(line_no, "empty label");
+      line.kind = LineKind::Label;
+      line.text = std::string(body);
+      prog.lines.push_back(std::move(line));
+      continue;
+    }
+    if (body.front() == '.') {
+      line.kind = LineKind::Directive;
+      line.text = std::string(body);
+      prog.lines.push_back(std::move(line));
+      continue;
+    }
+
+    // Instruction: mnemonic then comma-separated operands.
+    line.kind = LineKind::Instruction;
+    std::size_t sp = body.find_first_of(" \t");
+    line.mnemonic = std::string(body.substr(0, sp));
+    std::transform(line.mnemonic.begin(), line.mnemonic.end(),
+                   line.mnemonic.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (sp != std::string_view::npos) {
+      std::string_view rest = trim(body.substr(sp));
+      while (!rest.empty()) {
+        std::size_t comma = rest.find(',');
+        std::string_view op = trim(rest.substr(0, comma));
+        if (op.empty()) throw ParseError(line_no, "empty operand");
+        line.operands.emplace_back(op);
+        if (comma == std::string_view::npos) break;
+        rest = trim(rest.substr(comma + 1));
+        if (rest.empty()) throw ParseError(line_no, "trailing comma");
+      }
+    }
+    if (!comment.empty()) line.text = comment;
+    prog.lines.push_back(std::move(line));
+  }
+  // The loop emits one spurious blank for the final newline; drop it.
+  if (!prog.lines.empty() && prog.lines.back().kind == LineKind::Blank &&
+      !text.empty() && text.back() == '\n') {
+    prog.lines.pop_back();
+  }
+  return prog;
+}
+
+std::string print(const Program& p) {
+  std::string out;
+  for (const auto& l : p.lines) {
+    switch (l.kind) {
+      case LineKind::Blank:
+        break;
+      case LineKind::Comment:
+      case LineKind::Label:
+      case LineKind::Directive:
+        out += l.text;
+        break;
+      case LineKind::Instruction: {
+        out += "    ";
+        out += l.mnemonic;
+        for (std::size_t i = 0; i < l.operands.size(); ++i) {
+          out += i == 0 ? " " : ", ";
+          out += l.operands[i];
+        }
+        if (!l.text.empty()) {
+          out += "  ";
+          out += l.text;
+        }
+        break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool known_mnemonic(std::string_view mnemonic, Dialect d) {
+  if (mnemonic.empty()) return false;
+  if (mnemonic.front() != 'v') return true;  // scalar RISC-V: assume valid
+  if (mnemonic == "vsetvli" || mnemonic == "vsetvl") return true;
+  if (common_vector_mnemonics().count(mnemonic) > 0) return true;
+  if (d == Dialect::V1_0) return v1_only_mnemonics().count(mnemonic) > 0;
+  return v071_only_mnemonics().count(mnemonic) > 0;
+}
+
+std::vector<VerifyIssue> verify(const Program& p, Dialect d) {
+  std::vector<VerifyIssue> issues;
+  for (const auto& l : p.lines) {
+    if (l.kind != LineKind::Instruction) continue;
+    if (!known_mnemonic(l.mnemonic, d)) {
+      issues.push_back(
+          VerifyIssue{l.source_line, l.mnemonic + " is not valid in " +
+                                         std::string(to_string(d))});
+      continue;
+    }
+    // vsetvli tail/mask policy flags and fractional LMUL are 1.0-only.
+    if (l.mnemonic == "vsetvli" && d == Dialect::V0_7_1) {
+      for (const auto& op : l.operands) {
+        if (op == "ta" || op == "tu" || op == "ma" || op == "mu") {
+          issues.push_back(VerifyIssue{
+              l.source_line, "vsetvli policy flag '" + op +
+                                 "' is not valid in RVV v0.7.1"});
+        }
+        if (op.size() >= 2 && op[0] == 'm' && op[1] == 'f') {
+          issues.push_back(VerifyIssue{
+              l.source_line, "fractional LMUL '" + op +
+                                 "' is not valid in RVV v0.7.1"});
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace sgp::rvv

@@ -1,0 +1,82 @@
+// A small RISC-V Vector assembly IR covering the two dialects the paper
+// deals with: RVV v1.0 (what Clang emits) and RVV v0.7.1 (what the
+// XuanTie C920 executes). Programs are sequences of instructions, labels
+// and directives; enough structure to implement and test the rollback
+// pass of Lee et al. ("Backporting RISC-V vector assembly"), which the
+// paper uses to run Clang-generated code on the SG2042.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgp::rvv {
+
+enum class Dialect { V1_0, V0_7_1 };
+
+constexpr std::string_view to_string(Dialect d) noexcept {
+  return d == Dialect::V1_0 ? "RVV v1.0" : "RVV v0.7.1";
+}
+
+enum class LineKind { Instruction, Label, Directive, Comment, Blank };
+
+struct Line {
+  LineKind kind = LineKind::Blank;
+  std::string mnemonic;                 ///< instructions only
+  std::vector<std::string> operands;    ///< instructions only
+  std::string text;                     ///< labels/directives/comments verbatim
+  std::size_t source_line = 0;          ///< 1-based line in the input
+
+  bool is_vector() const noexcept {
+    return kind == LineKind::Instruction && !mnemonic.empty() &&
+           mnemonic.front() == 'v';
+  }
+};
+
+struct Program {
+  std::vector<Line> lines;
+
+  std::size_t instruction_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& l : lines)
+      if (l.kind == LineKind::Instruction) ++n;
+    return n;
+  }
+  std::size_t vector_instruction_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& l : lines)
+      if (l.is_vector()) ++n;
+    return n;
+  }
+};
+
+struct ParseError : std::runtime_error {
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_number(line) {}
+  std::size_t line_number;
+};
+
+/// Parses assembly text. Accepts labels ("name:"), directives (".word"),
+/// comments ("#...") and "mnemonic op, op, ..." instructions.
+Program parse(std::string_view text);
+
+/// Renders a program back to assembly text.
+std::string print(const Program& p);
+
+/// True when `mnemonic` is a known instruction of dialect `d` (vector
+/// instructions from our tables; any non-'v' mnemonic is assumed to be
+/// valid scalar RISC-V in both dialects).
+bool known_mnemonic(std::string_view mnemonic, Dialect d);
+
+struct VerifyIssue {
+  std::size_t source_line = 0;
+  std::string message;
+};
+
+/// Reports every vector instruction that is not valid in dialect `d`.
+std::vector<VerifyIssue> verify(const Program& p, Dialect d);
+
+}  // namespace sgp::rvv

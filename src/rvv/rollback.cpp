@@ -1,0 +1,289 @@
+#include "rvv/rollback.hpp"
+
+#include <map>
+#include <optional>
+
+namespace sgp::rvv {
+
+namespace {
+
+/// vtype state tracked while walking the program, updated at each
+/// vsetvli/vsetivli. SEW in bits; 0 = unknown.
+struct VtypeState {
+  int sew = 0;
+  std::string lmul = "m1";
+};
+
+std::optional<int> parse_sew(const std::string& op) {
+  if (op.size() >= 2 && op[0] == 'e') {
+    if (op == "e8") return 8;
+    if (op == "e16") return 16;
+    if (op == "e32") return 32;
+    if (op == "e64") return 64;
+  }
+  return std::nullopt;
+}
+
+bool is_lmul(const std::string& op) {
+  return op == "m1" || op == "m2" || op == "m4" || op == "m8" ||
+         op == "mf2" || op == "mf4" || op == "mf8";
+}
+
+bool is_policy_flag(const std::string& op) {
+  return op == "ta" || op == "tu" || op == "ma" || op == "mu";
+}
+
+/// Memory-op classification for the typed v1.0 loads/stores.
+struct MemOp {
+  bool is_store = false;
+  enum class Addr { Unit, Strided, Indexed } addr = Addr::Unit;
+  int width = 0;       // element width in bits
+  bool fault_first = false;
+};
+
+std::optional<MemOp> classify_mem(const std::string& m) {
+  // vle{w}.v vse{w}.v vlse{w}.v vsse{w}.v vluxei{w}.v vloxei{w}.v
+  // vsuxei{w}.v vsoxei{w}.v vle{w}ff.v
+  auto ends_with = [](const std::string& s, const char* suf) {
+    const std::string t(suf);
+    return s.size() >= t.size() && s.compare(s.size() - t.size(), t.size(), t) == 0;
+  };
+  auto width_from = [](const std::string& s, std::size_t at) -> int {
+    if (s.compare(at, 2, "64") == 0) return 64;
+    if (s.compare(at, 2, "32") == 0) return 32;
+    if (s.compare(at, 2, "16") == 0) return 16;
+    if (s.compare(at, 1, "8") == 0) return 8;
+    return 0;
+  };
+  MemOp op;
+  if (!ends_with(m, ".v")) return std::nullopt;
+  if (m.rfind("vle", 0) == 0) {
+    op.width = width_from(m, 3);
+    if (op.width == 0) return std::nullopt;
+    op.fault_first = ends_with(m, "ff.v");
+    return op;
+  }
+  if (m.rfind("vse", 0) == 0 && m != "vsetvli" && m != "vsext.vf2") {
+    op.is_store = true;
+    op.width = width_from(m, 3);
+    if (op.width == 0) return std::nullopt;
+    return op;
+  }
+  if (m.rfind("vlse", 0) == 0) {
+    op.addr = MemOp::Addr::Strided;
+    op.width = width_from(m, 4);
+    if (op.width == 0) return std::nullopt;
+    return op;
+  }
+  if (m.rfind("vsse", 0) == 0) {
+    op.is_store = true;
+    op.addr = MemOp::Addr::Strided;
+    op.width = width_from(m, 4);
+    if (op.width == 0) return std::nullopt;
+    return op;
+  }
+  if (m.rfind("vlux", 0) == 0 || m.rfind("vlox", 0) == 0) {
+    op.addr = MemOp::Addr::Indexed;
+    op.width = width_from(m, 6);
+    if (op.width == 0) return std::nullopt;
+    return op;
+  }
+  if (m.rfind("vsux", 0) == 0 || m.rfind("vsox", 0) == 0) {
+    op.is_store = true;
+    op.addr = MemOp::Addr::Indexed;
+    op.width = width_from(m, 6);
+    if (op.width == 0) return std::nullopt;
+    return op;
+  }
+  return std::nullopt;
+}
+
+/// v0.7.1 mnemonic for a memory op given the current SEW.
+std::string legacy_mem_mnemonic(const MemOp& op, int sew, std::size_t line) {
+  if (op.fault_first) {
+    if (op.width == sew) return "vleff.v";
+    switch (op.width) {
+      case 8:  return "vlbff.v";
+      case 16: return "vlhff.v";
+      case 32: return "vlwff.v";
+      default: break;
+    }
+    throw RollbackError(line, "fault-only-first load width unsupported");
+  }
+  if (op.width == sew || sew == 0) {
+    // SEW-width access: the "e" forms.
+    switch (op.addr) {
+      case MemOp::Addr::Unit:    return op.is_store ? "vse.v" : "vle.v";
+      case MemOp::Addr::Strided: return op.is_store ? "vsse.v" : "vlse.v";
+      case MemOp::Addr::Indexed: return op.is_store ? "vsxe.v" : "vlxe.v";
+    }
+  }
+  if (op.width > sew) {
+    throw RollbackError(line,
+                        "memory element width exceeds SEW; cannot roll back");
+  }
+  // Narrower-than-SEW access: sign-extending width-typed forms.
+  const char* w = op.width == 8 ? "b" : op.width == 16 ? "h" : "w";
+  std::string m;
+  switch (op.addr) {
+    case MemOp::Addr::Unit:    m = op.is_store ? "vs" : "vl"; break;
+    case MemOp::Addr::Strided: m = op.is_store ? "vss" : "vls"; break;
+    case MemOp::Addr::Indexed: m = op.is_store ? "vsx" : "vlx"; break;
+  }
+  m += w;
+  m += ".v";
+  return m;
+}
+
+/// Renames with identical operand forms.
+const std::map<std::string, std::string>& simple_renames() {
+  static const std::map<std::string, std::string> r{
+      {"vcpop.m", "vpopc.m"},
+      {"vmandn.mm", "vmandnot.mm"},
+      {"vmorn.mm", "vmornot.mm"},
+      {"vfredusum.vs", "vfredsum.vs"},
+  };
+  return r;
+}
+
+}  // namespace
+
+RollbackResult rollback(const Program& v1, const RollbackOptions& opts) {
+  RollbackResult result;
+  VtypeState vtype;
+
+  auto note = [&result](std::size_t line, const std::string& msg) {
+    result.notes.push_back("line " + std::to_string(line) + ": " + msg);
+  };
+
+  for (const auto& line : v1.lines) {
+    if (line.kind != LineKind::Instruction) {
+      result.program.lines.push_back(line);
+      continue;
+    }
+    const std::string& m = line.mnemonic;
+    Line out = line;
+
+    // --- vsetvli / vsetivli -------------------------------------------
+    if (m == "vsetvli" || m == "vsetivli") {
+      std::vector<std::string> ops;
+      for (const auto& op : line.operands) {
+        if (is_policy_flag(op)) continue;  // v1.0-only; drop
+        if (is_lmul(op) && op[1] == 'f') {
+          throw RollbackError(line.source_line,
+                              "fractional LMUL '" + op +
+                                  "' has no RVV v0.7.1 equivalent");
+        }
+        if (auto sew = parse_sew(op)) vtype.sew = *sew;
+        if (is_lmul(op)) vtype.lmul = op;
+        ops.push_back(op);
+      }
+      if (m == "vsetivli") {
+        // vsetivli rd, uimm, vtype...  ->  li scratch, uimm ;
+        // vsetvli rd, scratch, vtype...
+        if (!opts.allow_expansion) {
+          throw RollbackError(line.source_line,
+                              "vsetivli needs expansion (disabled)");
+        }
+        if (ops.size() < 2) {
+          throw RollbackError(line.source_line, "malformed vsetivli");
+        }
+        Line li;
+        li.kind = LineKind::Instruction;
+        li.mnemonic = "li";
+        li.operands = {opts.scratch_reg, ops[1]};
+        li.source_line = line.source_line;
+        result.program.lines.push_back(std::move(li));
+        ops[1] = opts.scratch_reg;
+        out.mnemonic = "vsetvli";
+        out.operands = std::move(ops);
+        note(line.source_line, "vsetivli expanded to li + vsetvli");
+        ++result.rewritten;
+        result.program.lines.push_back(std::move(out));
+        continue;
+      }
+      if (ops.size() != line.operands.size()) {
+        note(line.source_line, "dropped v1.0 vsetvli policy flags");
+        ++result.rewritten;
+      }
+      out.operands = std::move(ops);
+      result.program.lines.push_back(std::move(out));
+      continue;
+    }
+
+    // --- typed memory operations --------------------------------------
+    if (auto mem = classify_mem(m)) {
+      out.mnemonic = legacy_mem_mnemonic(*mem, vtype.sew, line.source_line);
+      note(line.source_line, m + " -> " + out.mnemonic);
+      ++result.rewritten;
+      result.program.lines.push_back(std::move(out));
+      continue;
+    }
+
+    // --- simple renames ------------------------------------------------
+    if (auto it = simple_renames().find(m); it != simple_renames().end()) {
+      out.mnemonic = it->second;
+      note(line.source_line, m + " -> " + out.mnemonic);
+      ++result.rewritten;
+      result.program.lines.push_back(std::move(out));
+      continue;
+    }
+
+    // --- element extract -----------------------------------------------
+    if (m == "vmv.x.s") {
+      // vmv.x.s rd, vs2  ->  vext.x.v rd, vs2, x0
+      out.mnemonic = "vext.x.v";
+      out.operands.push_back("x0");
+      note(line.source_line, "vmv.x.s -> vext.x.v (element 0)");
+      ++result.rewritten;
+      result.program.lines.push_back(std::move(out));
+      continue;
+    }
+
+    // --- whole register moves / loads ----------------------------------
+    if (m == "vmv1r.v") {
+      if (!opts.allow_expansion) {
+        throw RollbackError(line.source_line,
+                            "vmv1r.v needs expansion (disabled)");
+      }
+      out.mnemonic = "vmv.v.v";
+      note(line.source_line,
+           "vmv1r.v -> vmv.v.v (assumes vl covers the register)");
+      ++result.rewritten;
+      result.program.lines.push_back(std::move(out));
+      continue;
+    }
+    if (m == "vmnot.m") {
+      // vmnot.m vd, vs  ->  vmnand.mm vd, vs, vs
+      out.mnemonic = "vmnand.mm";
+      if (out.operands.size() == 2) out.operands.push_back(out.operands[1]);
+      note(line.source_line, "vmnot.m -> vmnand.mm vd, vs, vs");
+      ++result.rewritten;
+      result.program.lines.push_back(std::move(out));
+      continue;
+    }
+
+    // --- untranslatable -------------------------------------------------
+    if (m.rfind("vzext", 0) == 0 || m.rfind("vsext", 0) == 0 ||
+        m.rfind("vl1r", 0) == 0 || m.rfind("vl2r", 0) == 0 ||
+        m.rfind("vl4r", 0) == 0 || m.rfind("vl8r", 0) == 0 ||
+        m.rfind("vs1r", 0) == 0 || m.rfind("vs2r", 0) == 0 ||
+        m.rfind("vs4r", 0) == 0 || m.rfind("vs8r", 0) == 0 ||
+        m == "vmv2r.v" || m == "vmv4r.v" || m == "vmv8r.v" ||
+        m == "vfslide1up.vf" || m == "vfslide1down.vf") {
+      throw RollbackError(line.source_line,
+                          m + " has no RVV v0.7.1 equivalent");
+    }
+
+    // Anything else passes through (common vector ops and scalar code).
+    result.program.lines.push_back(std::move(out));
+  }
+  return result;
+}
+
+std::string rollback_text(std::string_view v1_asm,
+                          const RollbackOptions& opts) {
+  return print(rollback(parse(v1_asm), opts).program);
+}
+
+}  // namespace sgp::rvv

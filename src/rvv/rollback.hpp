@@ -1,0 +1,47 @@
+// The RVV v1.0 -> v0.7.1 "rollback" transformation. This is the enabling
+// tool of the paper's Section 3.2 Clang experiments: Clang can only emit
+// RVV v1.0, the C920 only executes v0.7.1, and this pass rewrites the
+// assembly between the dialects (after Lee, Jamieson & Brown,
+// "Backporting RISC-V vector assembly", arXiv:2304.10324).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rvv/ir.hpp"
+
+namespace sgp::rvv {
+
+struct RollbackError : std::runtime_error {
+  RollbackError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_number(line) {}
+  std::size_t line_number;
+};
+
+struct RollbackOptions {
+  /// Allow multi-instruction expansions (vsetivli -> li + vsetvli,
+  /// whole-register moves -> vmv.v.v, ...). When false, any instruction
+  /// with no 1:1 v0.7.1 equivalent raises RollbackError.
+  bool allow_expansion = true;
+  /// Scratch integer register used by expansions that need one.
+  std::string scratch_reg = "t6";
+};
+
+struct RollbackResult {
+  Program program;                 ///< valid RVV v0.7.1
+  std::vector<std::string> notes;  ///< one entry per non-trivial rewrite
+  std::size_t rewritten = 0;       ///< instructions changed
+};
+
+/// Rewrites a v1.0 program to v0.7.1. Throws RollbackError on
+/// untranslatable constructs (fractional LMUL, vzext/vsext, and --
+/// without allow_expansion -- anything needing expansion).
+RollbackResult rollback(const Program& v1, const RollbackOptions& opts = {});
+
+/// Convenience: parse -> rollback -> print.
+std::string rollback_text(std::string_view v1_asm,
+                          const RollbackOptions& opts = {});
+
+}  // namespace sgp::rvv

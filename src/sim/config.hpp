@@ -1,0 +1,17 @@
+// Configuration of one simulated benchmark run.
+#pragma once
+
+#include "core/types.hpp"
+#include "machine/placement.hpp"
+
+namespace sgp::sim {
+
+struct SimConfig {
+  core::Precision precision = core::Precision::FP64;
+  core::CompilerId compiler = core::CompilerId::Gcc;
+  core::VectorMode vector_mode = core::VectorMode::VLS;
+  int nthreads = 1;
+  machine::Placement placement = machine::Placement::Block;
+};
+
+}  // namespace sgp::sim

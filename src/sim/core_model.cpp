@@ -1,0 +1,90 @@
+#include "sim/core_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/pattern.hpp"
+
+namespace sgp::sim {
+
+namespace {
+// Reciprocal throughputs of slow ops (cycles per op, one pipe).
+constexpr double kDivCycles = 14.0;
+constexpr double kSpecialCycles = 20.0;
+}  // namespace
+
+CoreCost CoreModel::cycles_per_iteration(const core::KernelSignature& sig,
+                                         const compiler::CodegenPlan& plan,
+                                         core::Precision prec) const {
+  const auto& c = m_.core;
+  const auto& mix = sig.mix;
+
+  const double fast_flop_instrs =
+      mix.fadd + mix.fmul + mix.ffma + mix.fcmp;  // instruction counts
+  const double fast_flops = mix.fadd + mix.fmul + 2.0 * mix.ffma + mix.fcmp;
+  const double mem = mix.mem_accesses();
+
+  CoreCost out;
+  out.vector_path = plan.vector_path;
+
+  double fp_cycles = 0.0;
+  double mem_cycles = 0.0;
+  double front_cycles = 0.0;
+  double int_cycles = 0.0;
+
+  const double int_throughput =
+      std::max(1.0, c.issue_width * c.scalar_eff);  // int ops / cycle
+
+  if (!plan.vector_path) {
+    const double scalar_fpc = c.scalar_flops_per_cycle();
+    fp_cycles = fast_flops / std::max(1e-9, scalar_fpc);
+    fp_cycles += mix.fdiv * (kDivCycles / c.fp_pipes);
+    fp_cycles += mix.fspecial * (kSpecialCycles / c.fp_pipes);
+    const double port_eff = c.out_of_order ? 1.0 : 0.7;
+    mem_cycles = mem / (c.mem_ports * port_eff);
+    int_cycles = mix.iops / int_throughput;
+    const double instrs = fast_flop_instrs + mix.fdiv + mix.fspecial +
+                          mix.iops + mem + mix.branches + 2.0;  // +loop ovh
+    front_cycles = instrs / c.decode_width;
+  } else {
+    const int elem_bits = sig.integer_dominated
+                              ? 64
+                              : (prec == core::Precision::FP32 ? 32 : 64);
+    const double lanes = plan.lanes;
+    const double eff_lanes = std::max(1.0, lanes * plan.efficiency);
+
+    if (sig.integer_dominated) {
+      // Integer lanes run at the unit's generic efficiency.
+      int_cycles = mix.iops / (int_throughput * eff_lanes / 2.0);
+      fp_cycles = 0.0;
+    } else {
+      // plan.efficiency carries compiler/pattern quality; the machine's
+      // sustained lane efficiency is already inside vec_fpc.
+      const double vec_fpc = c.vector_flops_per_cycle(elem_bits);
+      fp_cycles =
+          fast_flops / std::max(1e-9, vec_fpc * plan.efficiency);
+      fp_cycles += (mix.fdiv * kDivCycles + mix.fspecial * kSpecialCycles) /
+                   (c.fp_pipes * std::sqrt(lanes));  // div pipes narrow
+      int_cycles = mix.iops / (int_throughput * eff_lanes / 2.0);
+    }
+
+    // Gathers lose the lane advantage on the memory side.
+    const double mem_lanes =
+        sig.pattern == core::AccessPattern::Gather ? 1.0 : lanes;
+    mem_cycles = mem / mem_lanes / c.mem_ports;
+
+    const double vec_instrs =
+        (fast_flop_instrs + mix.fdiv + mix.fspecial) / 1.0 + mem / mem_lanes;
+    const double scalar_ovh = plan.overhead_instrs_per_strip / lanes;
+    front_cycles = (vec_instrs + mix.iops + mix.branches + scalar_ovh) /
+                   c.decode_width;
+  }
+
+  double cycles = std::max({fp_cycles, mem_cycles, front_cycles, int_cycles});
+  cycles *= pattern_ilp_derating(sig.pattern, c.out_of_order);
+  cycles *= plan.scalar_penalty;
+  out.cycles_per_iter = cycles;
+  return out;
+}
+
+}  // namespace sgp::sim

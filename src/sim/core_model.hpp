@@ -1,0 +1,30 @@
+// Prices one loop iteration on a core, given the codegen plan.
+#pragma once
+
+#include "compiler/model.hpp"
+#include "core/signature.hpp"
+#include "core/types.hpp"
+#include "machine/descriptor.hpp"
+
+namespace sgp::sim {
+
+struct CoreCost {
+  double cycles_per_iter = 0.0;
+  bool vector_path = false;
+};
+
+class CoreModel {
+ public:
+  explicit CoreModel(const machine::MachineDescriptor& m) : m_(m) {}
+
+  /// Cycles per logical loop iteration (throughput, not latency), the
+  /// max over the core's issue-limited resources.
+  CoreCost cycles_per_iteration(const core::KernelSignature& sig,
+                                const compiler::CodegenPlan& plan,
+                                core::Precision prec) const;
+
+ private:
+  const machine::MachineDescriptor& m_;
+};
+
+}  // namespace sgp::sim

@@ -1,0 +1,39 @@
+#include "sim/pattern.hpp"
+
+namespace sgp::sim {
+
+using core::AccessPattern;
+
+double pattern_bandwidth_efficiency(AccessPattern p) noexcept {
+  switch (p) {
+    case AccessPattern::Streaming:     return 1.00;
+    case AccessPattern::Strided:       return 0.45;
+    case AccessPattern::Stencil1D:     return 0.95;
+    case AccessPattern::Stencil2D:     return 0.90;
+    case AccessPattern::Stencil3D:     return 0.82;
+    case AccessPattern::Gather:        return 0.35;
+    case AccessPattern::Reduction:     return 1.00;
+    case AccessPattern::Sequential:    return 0.95;
+    case AccessPattern::BlockedMatrix: return 1.00;
+    case AccessPattern::Sort:          return 0.60;
+  }
+  return 0.8;
+}
+
+double pattern_ilp_derating(AccessPattern p, bool out_of_order) noexcept {
+  switch (p) {
+    case AccessPattern::Streaming:     return 1.0;
+    case AccessPattern::Strided:       return out_of_order ? 1.1 : 1.3;
+    case AccessPattern::Stencil1D:     return 1.0;
+    case AccessPattern::Stencil2D:     return out_of_order ? 1.05 : 1.2;
+    case AccessPattern::Stencil3D:     return out_of_order ? 1.10 : 1.3;
+    case AccessPattern::Gather:        return out_of_order ? 1.3 : 1.8;
+    case AccessPattern::Reduction:     return out_of_order ? 1.2 : 1.5;
+    case AccessPattern::Sequential:    return out_of_order ? 3.0 : 3.5;
+    case AccessPattern::BlockedMatrix: return 1.0;
+    case AccessPattern::Sort:          return out_of_order ? 2.0 : 2.6;
+  }
+  return 1.2;
+}
+
+}  // namespace sgp::sim

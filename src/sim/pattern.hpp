@@ -1,0 +1,16 @@
+// Pattern-dependent deratings used by the cost models.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace sgp::sim {
+
+/// Fraction of streamed bandwidth a pattern actually utilises (cache-line
+/// utilisation; 1.0 = perfect unit-stride streaming).
+double pattern_bandwidth_efficiency(core::AccessPattern p) noexcept;
+
+/// Multiplier (>= 1) on per-iteration compute cycles capturing exposed
+/// dependency chains and branchiness. Out-of-order cores hide more.
+double pattern_ilp_derating(core::AccessPattern p, bool out_of_order) noexcept;
+
+}  // namespace sgp::sim

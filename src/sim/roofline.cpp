@@ -1,0 +1,73 @@
+#include "sim/roofline.hpp"
+
+#include <algorithm>
+
+#include "compiler/model.hpp"
+
+namespace sgp::sim {
+
+namespace {
+
+double scalar_gflops(const machine::MachineDescriptor& m) {
+  return m.core.scalar_flops_per_cycle() * m.core.clock_ghz;
+}
+
+double vector_gflops(const machine::MachineDescriptor& m, int elem_bits) {
+  const double v = m.core.vector_flops_per_cycle(elem_bits);
+  return v > 0.0 ? v * m.core.clock_ghz : scalar_gflops(m);
+}
+
+}  // namespace
+
+RooflineModel roofline_for(const machine::MachineDescriptor& m) {
+  RooflineModel r;
+  r.machine = m.name;
+  r.peak_scalar_gflops = scalar_gflops(m);
+  r.peak_vector_gflops_fp32 = vector_gflops(m, 32);
+  r.peak_vector_gflops_fp64 = vector_gflops(m, 64);
+  r.stream_bw_gbs = m.core.stream_bw_gbs;
+  r.ridge_intensity_fp32 = r.peak_vector_gflops_fp32 / r.stream_bw_gbs;
+  return r;
+}
+
+std::vector<RooflinePoint> roofline_points(
+    const machine::MachineDescriptor& m, const SimConfig& cfg,
+    const std::vector<core::KernelSignature>& sigs) {
+  const auto model = roofline_for(m);
+  std::vector<RooflinePoint> out;
+  out.reserve(sigs.size());
+
+  for (const auto& sig : sigs) {
+    RooflinePoint p;
+    p.kernel = sig.name;
+    p.group = sig.group;
+
+    const double flops = sig.mix.flops();
+    const double bytes = sig.streamed_bytes_per_iter(cfg.precision);
+    p.intensity = bytes > 0.0 ? flops / bytes : 1e6;  // cache-resident
+
+    // Which compute roof applies depends on the executed code path.
+    const auto plan =
+        compiler::plan(sig, cfg.precision, cfg.compiler, cfg.vector_mode, m);
+    double ceiling = model.peak_scalar_gflops;
+    if (plan.vector_path && !sig.integer_dominated) {
+      ceiling = cfg.precision == core::Precision::FP32
+                    ? model.peak_vector_gflops_fp32
+                    : model.peak_vector_gflops_fp64;
+      ceiling *= plan.efficiency;
+    }
+    p.compute_ceiling_gflops = std::max(ceiling, 1e-9);
+
+    const double bw = plan.vector_path
+                          ? model.stream_bw_gbs
+                          : model.stream_bw_gbs *
+                                m.core.scalar_stream_derate;
+    const double bw_bound = p.intensity * bw;
+    p.attainable_gflops = std::min(p.compute_ceiling_gflops, bw_bound);
+    p.memory_bound = bw_bound < p.compute_ceiling_gflops;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sgp::sim

@@ -1,0 +1,48 @@
+// Roofline analysis on top of the kernel signatures and machine
+// descriptors: arithmetic intensity, the machine's compute/bandwidth
+// ceilings, and each kernel's predicted position (memory- vs
+// compute-bound and the attainable fraction of peak).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "machine/descriptor.hpp"
+#include "sim/config.hpp"
+
+namespace sgp::sim {
+
+struct RooflinePoint {
+  std::string kernel;
+  core::Group group = core::Group::Basic;
+  /// FLOP per byte of streamed traffic (arithmetic intensity).
+  double intensity = 0.0;
+  /// Attainable GFLOP/s at this intensity on this machine (single core).
+  double attainable_gflops = 0.0;
+  /// The machine's compute ceiling for this kernel's code path.
+  double compute_ceiling_gflops = 0.0;
+  /// True when the kernel sits under the bandwidth slope.
+  bool memory_bound = false;
+};
+
+struct RooflineModel {
+  std::string machine;
+  double peak_scalar_gflops = 0.0;
+  double peak_vector_gflops_fp32 = 0.0;
+  double peak_vector_gflops_fp64 = 0.0;
+  double stream_bw_gbs = 0.0;  ///< single-core sustained bandwidth
+  /// Intensity where the vector FP32 roof meets the bandwidth slope.
+  double ridge_intensity_fp32 = 0.0;
+};
+
+/// Single-core roofline of a machine.
+RooflineModel roofline_for(const machine::MachineDescriptor& m);
+
+/// Positions every kernel on the machine's single-core roofline under a
+/// configuration (precision + compiler decide the ceiling that applies).
+std::vector<RooflinePoint> roofline_points(
+    const machine::MachineDescriptor& m, const SimConfig& cfg,
+    const std::vector<core::KernelSignature>& sigs);
+
+}  // namespace sgp::sim

@@ -1,0 +1,109 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/pattern.hpp"
+
+namespace sgp::sim {
+
+Simulator::Simulator(machine::MachineDescriptor m)
+    : m_(std::move(m)), cache_(m_), memory_(m_), core_(m_), sync_(m_) {
+  m_.validate();
+}
+
+TimeBreakdown Simulator::run(const core::KernelSignature& sig,
+                             const SimConfig& cfg) const {
+  if (cfg.nthreads < 1 || cfg.nthreads > m_.num_cores) {
+    throw std::invalid_argument("Simulator::run: nthreads out of range");
+  }
+  if (sig.iters_per_rep <= 0.0 || sig.reps <= 0.0 ||
+      sig.working_set_elems <= 0.0) {
+    throw std::invalid_argument("Simulator::run: malformed signature for " +
+                                sig.name);
+  }
+  if (sig.seq_fraction < 0.0 || sig.seq_fraction > 1.0) {
+    throw std::invalid_argument("Simulator::run: bad seq_fraction for " +
+                                sig.name);
+  }
+
+  const auto plan =
+      compiler::plan(sig, cfg.precision, cfg.compiler, cfg.vector_mode, m_);
+  const auto cores =
+      machine::assign_cores(m_, cfg.placement, cfg.nthreads);
+  const auto stats = machine::analyze(m_, cores);
+  const auto cc = core_.cycles_per_iteration(sig, plan, cfg.precision);
+
+  // Critical-path iterations per thread (Amdahl with seq_fraction).
+  const double t = cfg.nthreads;
+  const double iters_crit =
+      sig.iters_per_rep * ((1.0 - sig.seq_fraction) / t + sig.seq_fraction);
+
+  TimeBreakdown out;
+  out.vector_path = plan.vector_path;
+  out.note = plan.note;
+
+  const double clock_hz = m_.core.clock_ghz * 1e9;
+  const double compute_per_rep = iters_crit * cc.cycles_per_iter / clock_hz;
+
+  // Memory: which level serves the streamed traffic, and how fast.
+  const double ws = sig.working_set_bytes(cfg.precision);
+  out.serving = cache_.serving_level(ws, stats, cfg.nthreads);
+
+  double memory_per_rep = 0.0;
+  if (out.serving != MemLevel::L1) {
+    const double eff = pattern_bandwidth_efficiency(sig.pattern);
+    const double bytes_per_thread =
+        sig.streamed_bytes_per_iter(cfg.precision) * iters_crit / eff;
+    double bw = 0.0;
+    bool shared_level = false;
+    if (out.serving == MemLevel::DRAM) {
+      bw = memory_.per_thread_bw_gbs(stats, cfg.nthreads,
+                                     SharedLevel::Dram);
+      shared_level = true;
+    } else if (out.serving == MemLevel::L3 && m_.l3_memory_side) {
+      bw = memory_.per_thread_bw_gbs(stats, cfg.nthreads,
+                                     SharedLevel::MemorySideL3);
+      shared_level = true;
+    } else {
+      bw = cache_.per_thread_bw_gbs(out.serving, stats, cfg.nthreads);
+    }
+    // Scalar code exposes less memory-level parallelism than vector
+    // code, so it sustains only a fraction of the streaming bandwidth
+    // out of the shared levels.
+    if (shared_level && !plan.vector_path) {
+      bw *= m_.core.scalar_stream_derate;
+    }
+    bw *= plan.memory_efficiency;
+    memory_per_rep = bytes_per_thread / (bw * 1e9);
+  }
+
+  const double sync_per_rep = sync_.seconds_per_rep(sig, stats, cfg.nthreads);
+
+  // Contended atomics serialise globally: every atomic op costs a
+  // coherence round trip once more than one thread updates the location.
+  double atomic_per_rep = 0.0;
+  if (sig.atomic) {
+    const double ops = sig.iters_per_rep;  // one atomic per iteration
+    if (cfg.nthreads == 1) {
+      atomic_per_rep = ops * 6e-9;  // uncontended near-L1 latency
+    } else {
+      const double span_mult = stats.regions_spanned > 1
+                                   ? m_.remote_numa_penalty
+                                   : 1.0;
+      atomic_per_rep = ops * m_.atomic_rtt_ns * 1e-9 * span_mult;
+    }
+  }
+
+  const double per_rep =
+      std::max(compute_per_rep, memory_per_rep) + sync_per_rep +
+      atomic_per_rep;
+  out.compute_s = compute_per_rep * sig.reps;
+  out.memory_s = memory_per_rep * sig.reps;
+  out.sync_s = sync_per_rep * sig.reps;
+  out.atomic_s = atomic_per_rep * sig.reps;
+  out.total_s = per_rep * sig.reps;
+  return out;
+}
+
+}  // namespace sgp::sim

@@ -1,0 +1,55 @@
+// Facade: estimates the wall time of a full kernel run (all reps) on a
+// machine descriptor under a SimConfig.
+#pragma once
+
+#include <string>
+
+#include "compiler/model.hpp"
+#include "core/signature.hpp"
+#include "machine/descriptor.hpp"
+#include "sim/cache_model.hpp"
+#include "sim/config.hpp"
+#include "sim/core_model.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/sync_model.hpp"
+
+namespace sgp::sim {
+
+/// Where the time went, over the whole run (reps included).
+struct TimeBreakdown {
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+  double sync_s = 0.0;
+  double atomic_s = 0.0;
+  double total_s = 0.0;
+  MemLevel serving = MemLevel::DRAM;
+  bool vector_path = false;
+  std::string note;
+};
+
+class Simulator {
+ public:
+  /// Takes ownership of the descriptor; validates it.
+  explicit Simulator(machine::MachineDescriptor m);
+
+  const machine::MachineDescriptor& machine() const noexcept { return m_; }
+
+  /// Full breakdown for one kernel under one configuration.
+  TimeBreakdown run(const core::KernelSignature& sig,
+                    const SimConfig& cfg) const;
+
+  /// Shorthand for run(...).total_s.
+  double seconds(const core::KernelSignature& sig,
+                 const SimConfig& cfg) const {
+    return run(sig, cfg).total_s;
+  }
+
+ private:
+  machine::MachineDescriptor m_;
+  CacheModel cache_;
+  MemoryModel memory_;
+  CoreModel core_;
+  SyncModel sync_;
+};
+
+}  // namespace sgp::sim

@@ -1,0 +1,111 @@
+#include "threading/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace sgp::threading {
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,
+                                                            int chunks,
+                                                            int c) {
+  const auto k = static_cast<std::size_t>(chunks);
+  const auto i = static_cast<std::size_t>(c);
+  const std::size_t base = n / k;
+  const std::size_t rem = n % k;
+  const std::size_t begin = i * base + std::min(i, rem);
+  const std::size_t len = base + (i < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+ThreadPool::ThreadPool(int nthreads) : nthreads_(nthreads) {
+  if (nthreads < 1) {
+    throw std::invalid_argument("ThreadPool: nthreads must be >= 1");
+  }
+  // Worker 0 is the calling thread; spawn the rest.
+  workers_.reserve(static_cast<std::size_t>(nthreads - 1));
+  for (int i = 1; i < nthreads; ++i) {
+    workers_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ChunkFn* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+      n = job_n_;
+    }
+    const auto [b, e] = chunk_range(n, nthreads_, id);
+    if (b < e) (*job)(b, e, id);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_dynamic(std::size_t n, std::size_t grain,
+                                      const ChunkFn& fn) {
+  if (grain == 0) {
+    throw std::invalid_argument("parallel_for_dynamic: grain must be > 0");
+  }
+  if (nthreads_ == 1) {
+    if (n > 0) fn(0, n, 0);
+    return;
+  }
+  // Wrap the user functor in a work-stealing loop; each invocation of
+  // the wrapper (one per worker) drains the shared counter.
+  std::atomic<std::size_t> next{0};
+  const ChunkFn wrapper = [&](std::size_t, std::size_t, int worker) {
+    for (;;) {
+      const std::size_t begin =
+          next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(begin + grain, n);
+      fn(begin, end, worker);
+    }
+  };
+  // Dispatch the wrapper once per worker via the static machinery; the
+  // per-worker static range is ignored (range [0, nthreads) guarantees
+  // every worker gets a non-empty slot and runs the wrapper once).
+  parallel_for(static_cast<std::size_t>(nthreads_), wrapper);
+}
+
+void ThreadPool::parallel_for(std::size_t n, const ChunkFn& fn) {
+  if (nthreads_ == 1) {
+    if (n > 0) fn(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    remaining_ = nthreads_ - 1;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  // The calling thread is chunk 0.
+  const auto [b, e] = chunk_range(n, nthreads_, 0);
+  if (b < e) fn(b, e, 0);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace sgp::threading

@@ -1,0 +1,60 @@
+// A persistent worker pool implementing core::Executor. Used by the
+// native backend to really run kernels multi-threaded. Chunking is
+// static and contiguous (OpenMP "schedule(static)" semantics), so
+// reduction partials indexed by chunk id are deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace sgp::threading {
+
+class ThreadPool final : public core::Executor {
+ public:
+  /// Spawns `nthreads` workers (>= 1). nthreads == 1 degenerates to
+  /// serial execution on the calling thread.
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int max_chunks() const override { return nthreads_; }
+  void parallel_for(std::size_t n, const ChunkFn& fn) override;
+
+  /// Dynamically scheduled variant (OpenMP "schedule(dynamic, grain)"):
+  /// workers pull `grain`-sized chunks from a shared counter. Better for
+  /// irregular per-iteration costs; the chunk index passed to `fn` is
+  /// the *worker* id (still < max_chunks()), so reduction arrays keyed
+  /// by chunk id keep working — but chunk-to-range mapping is
+  /// nondeterministic.
+  void parallel_for_dynamic(std::size_t n, std::size_t grain,
+                            const ChunkFn& fn);
+
+  /// [begin, end) of chunk `c` when splitting `n` items over `chunks`.
+  static std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                         int chunks, int c);
+
+ private:
+  void worker(int id);
+
+  const int nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const ChunkFn* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sgp::threading

@@ -1,0 +1,239 @@
+// Unit tests for the core module: checksums, run params, registry,
+// executor and the kernel base driver.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/checksum.hpp"
+#include "core/executor.hpp"
+#include "core/kernel_base.hpp"
+#include "core/op_mix.hpp"
+#include "core/registry.hpp"
+#include "core/run_params.hpp"
+#include "core/types.hpp"
+
+namespace sgp::core {
+namespace {
+
+// ------------------------------------------------------------- types --
+TEST(Types, GroupNamesAreUnique) {
+  std::vector<std::string_view> names;
+  for (const auto g : all_groups) names.push_back(to_string(g));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(Types, PrecisionBytes) {
+  EXPECT_EQ(bytes_of(Precision::FP32), 4u);
+  EXPECT_EQ(bytes_of(Precision::FP64), 8u);
+}
+
+TEST(Types, EnumToStringCoverage) {
+  EXPECT_EQ(to_string(VectorMode::Scalar), "scalar");
+  EXPECT_EQ(to_string(VectorMode::VLS), "VLS");
+  EXPECT_EQ(to_string(VectorMode::VLA), "VLA");
+  EXPECT_EQ(to_string(CompilerId::Gcc), "GCC");
+  EXPECT_EQ(to_string(CompilerId::Clang), "Clang");
+}
+
+// ------------------------------------------------------------- OpMix --
+TEST(OpMix, FlopsCountsFmaTwice) {
+  OpMix m;
+  m.fadd = 1;
+  m.fmul = 2;
+  m.ffma = 3;
+  EXPECT_DOUBLE_EQ(m.flops(), 1 + 2 + 6);
+}
+
+TEST(OpMix, MemAccesses) {
+  OpMix m;
+  m.loads = 2.5;
+  m.stores = 1.5;
+  EXPECT_DOUBLE_EQ(m.mem_accesses(), 4.0);
+}
+
+// ---------------------------------------------------------- checksum --
+TEST(Checksum, DetectsPermutation) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{4.0, 3.0, 2.0, 1.0};
+  EXPECT_NE(checksum(std::span<const double>(a)),
+            checksum(std::span<const double>(b)));
+  // But a plain sum does not.
+  EXPECT_EQ(plain_sum(std::span<const double>(a)),
+            plain_sum(std::span<const double>(b)));
+}
+
+TEST(Checksum, EmptyIsZero) {
+  const std::vector<float> v;
+  EXPECT_EQ(checksum(std::span<const float>(v)), 0.0L);
+  EXPECT_EQ(plain_sum(std::span<const float>(v)), 0.0L);
+}
+
+TEST(Checksum, SingleElement) {
+  const std::vector<double> v{2.5};
+  // weight of the only element is (1/1) = 1.
+  EXPECT_DOUBLE_EQ(static_cast<double>(checksum(std::span<const double>(v))),
+                   2.5);
+}
+
+TEST(Checksum, ScalesLinearly) {
+  std::vector<double> v{1.0, -2.0, 3.0};
+  const auto c1 = checksum(std::span<const double>(v));
+  for (auto& x : v) x *= 2.0;
+  const auto c2 = checksum(std::span<const double>(v));
+  EXPECT_NEAR(static_cast<double>(c2), 2.0 * static_cast<double>(c1), 1e-12);
+}
+
+// ---------------------------------------------------------- RunParams --
+TEST(RunParams, ScaledClampsToMinimum) {
+  RunParams rp;
+  rp.size_factor = 1e-9;
+  EXPECT_EQ(rp.scaled(1000000, 8), 8u);
+  EXPECT_EQ(rp.scaled(1000000), 8u);  // default min
+}
+
+TEST(RunParams, ScaledAppliesFactor) {
+  RunParams rp;
+  rp.size_factor = 0.5;
+  EXPECT_EQ(rp.scaled(1000), 500u);
+}
+
+TEST(RunParams, ScaledRepsNeverZero) {
+  RunParams rp;
+  rp.rep_factor = 0.0001;
+  EXPECT_EQ(rp.scaled_reps(100), 1u);
+  rp.rep_factor = 2.0;
+  EXPECT_EQ(rp.scaled_reps(100), 200u);
+}
+
+// ----------------------------------------------------------- Executor --
+TEST(SerialExecutor, CoversWholeRange) {
+  SerialExecutor exec;
+  EXPECT_EQ(exec.max_chunks(), 1);
+  std::size_t begin = 99, end = 0;
+  int chunk = -1;
+  exec.parallel_for(17, [&](std::size_t b, std::size_t e, int c) {
+    begin = b;
+    end = e;
+    chunk = c;
+  });
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 17u);
+  EXPECT_EQ(chunk, 0);
+}
+
+// -------------------------------------------------------- Stub kernel --
+class StubKernel final : public KernelBase {
+ public:
+  StubKernel()
+      : KernelBase([] {
+          KernelSignature s;
+          s.name = "STUB";
+          s.group = Group::Basic;
+          s.iters_per_rep = 10;
+          s.reps = 4;
+          s.working_set_elems = 10;
+          return s;
+        }()) {}
+
+  void set_up(Precision, const RunParams&) override { data_.assign(10, 1.0); }
+  void run_rep(Precision, Executor& exec) override {
+    exec.parallel_for(data_.size(), [&](std::size_t b, std::size_t e, int) {
+      for (std::size_t i = b; i < e; ++i) data_[i] += 1.0;
+    });
+    ++reps_run;
+  }
+  long double compute_checksum(Precision) const override {
+    return plain_sum(std::span<const double>(data_));
+  }
+  void tear_down() override { data_.clear(); }
+
+  int reps_run = 0;
+
+ private:
+  std::vector<double> data_;
+};
+
+TEST(KernelBase, RunNativeRunsAllReps) {
+  StubKernel k;
+  SerialExecutor exec;
+  RunParams rp;
+  const auto res = k.run_native(Precision::FP64, rp, exec);
+  EXPECT_EQ(res.reps, 4u);
+  EXPECT_EQ(k.reps_run, 4);
+  // 10 elements, start 1.0, 4 increments -> sum 50.
+  EXPECT_DOUBLE_EQ(static_cast<double>(res.checksum), 50.0);
+  EXPECT_GE(res.seconds, 0.0);
+}
+
+TEST(KernelBase, RepFactorScalesReps) {
+  StubKernel k;
+  SerialExecutor exec;
+  RunParams rp;
+  rp.rep_factor = 3.0;
+  const auto res = k.run_native(Precision::FP32, rp, exec);
+  EXPECT_EQ(res.reps, 12u);
+}
+
+// ----------------------------------------------------------- Registry --
+std::unique_ptr<KernelBase> make_stub() {
+  return std::make_unique<StubKernel>();
+}
+
+TEST(Registry, AddCreateRoundtrip) {
+  Registry reg;
+  reg.add("STUB", Group::Basic, make_stub);
+  EXPECT_TRUE(reg.contains("STUB"));
+  EXPECT_EQ(reg.size(), 1u);
+  auto k = reg.create("STUB");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->name(), "STUB");
+  EXPECT_EQ(reg.group_of("STUB"), Group::Basic);
+}
+
+TEST(Registry, RejectsDuplicates) {
+  Registry reg;
+  reg.add("STUB", Group::Basic, make_stub);
+  EXPECT_THROW(reg.add("STUB", Group::Basic, make_stub),
+               std::invalid_argument);
+}
+
+TEST(Registry, RejectsNullFactory) {
+  Registry reg;
+  EXPECT_THROW(reg.add("X", Group::Basic, KernelFactory{}),
+               std::invalid_argument);
+}
+
+TEST(Registry, RejectsMismatchedFactory) {
+  Registry reg;
+  // Claimed name does not match the kernel's real name.
+  EXPECT_THROW(reg.add("OTHER", Group::Basic, make_stub),
+               std::invalid_argument);
+  // Claimed group does not match.
+  EXPECT_THROW(reg.add("STUB", Group::Stream, make_stub),
+               std::invalid_argument);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  Registry reg;
+  EXPECT_THROW((void)reg.create("NOPE"), std::out_of_range);
+  EXPECT_THROW((void)reg.group_of("NOPE"), std::out_of_range);
+  EXPECT_FALSE(reg.contains("NOPE"));
+}
+
+TEST(Registry, NamesPreserveInsertionOrder) {
+  Registry reg;
+  reg.add("STUB", Group::Basic, make_stub);
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "STUB");
+  EXPECT_TRUE(reg.names(Group::Stream).empty());
+  EXPECT_EQ(reg.names(Group::Basic).size(), 1u);
+}
+
+}  // namespace
+}  // namespace sgp::core

@@ -1,0 +1,176 @@
+// Tests for the distributed-memory (future work) module: Hockney
+// network model, collectives, and strong-scaling behaviour of the
+// cluster simulator.
+#include <gtest/gtest.h>
+
+#include "distributed/dist_simulator.hpp"
+#include "kernels/register_all.hpp"
+
+namespace sgp::distributed {
+namespace {
+
+core::KernelSignature find_sig(const std::string& name) {
+  for (auto& s : kernels::all_signatures()) {
+    if (s.name == name) return s;
+  }
+  throw std::runtime_error("no kernel " + name);
+}
+
+ClusterDescriptor make_cluster(int nodes,
+                               NetworkDescriptor net = infiniband_hdr()) {
+  ClusterDescriptor c;
+  c.node = machine::sg2042();
+  c.network = std::move(net);
+  c.num_nodes = nodes;
+  return c;
+}
+
+sim::SimConfig node_cfg() {
+  sim::SimConfig cfg;
+  cfg.precision = core::Precision::FP32;
+  cfg.nthreads = 32;
+  cfg.placement = machine::Placement::ClusterCyclic;
+  return cfg;
+}
+
+// ------------------------------------------------------------ network --
+TEST(Network, HockneyModelIsAffine) {
+  const auto net = infiniband_hdr();
+  const double t0 = net.pt2pt_seconds(0.0);
+  const double t1 = net.pt2pt_seconds(1e6);
+  const double t2 = net.pt2pt_seconds(2e6);
+  EXPECT_GT(t0, 0.0);
+  EXPECT_NEAR(t2 - t1, t1 - t0, 1e-12);  // linear in bytes
+  EXPECT_THROW((void)net.pt2pt_seconds(-1.0), std::invalid_argument);
+}
+
+TEST(Network, FactoriesAreOrderedByQuality) {
+  const auto gbe = gigabit_ethernet();
+  const auto e25 = ethernet_25g();
+  const auto ib = infiniband_hdr();
+  for (const auto* n : {&gbe, &e25, &ib}) EXPECT_NO_THROW(n->validate());
+  EXPECT_GT(gbe.latency_us, e25.latency_us);
+  EXPECT_GT(e25.latency_us, ib.latency_us);
+  EXPECT_LT(gbe.bandwidth_gbs, e25.bandwidth_gbs);
+  EXPECT_LT(e25.bandwidth_gbs, ib.bandwidth_gbs);
+}
+
+TEST(Network, ValidateRejectsNonsense) {
+  NetworkDescriptor n;
+  n.latency_us = 0.0;
+  EXPECT_THROW(n.validate(), std::invalid_argument);
+  n = infiniband_hdr();
+  n.bandwidth_gbs = -1.0;
+  EXPECT_THROW(n.validate(), std::invalid_argument);
+}
+
+// -------------------------------------------------------- collectives --
+TEST(Collectives, AllreduceScalesLogarithmically) {
+  const auto net = infiniband_hdr();
+  EXPECT_DOUBLE_EQ(allreduce_seconds(net, 64, 1), 0.0);
+  const double t2 = allreduce_seconds(net, 64, 2);
+  const double t4 = allreduce_seconds(net, 64, 4);
+  const double t16 = allreduce_seconds(net, 64, 16);
+  EXPECT_NEAR(t4, 2.0 * t2, 1e-12);
+  EXPECT_NEAR(t16, 4.0 * t2, 1e-12);
+}
+
+TEST(Collectives, HaloScalesWithNeighboursAndBytes) {
+  const auto net = ethernet_25g();
+  EXPECT_DOUBLE_EQ(halo_exchange_seconds(net, 1024, 0), 0.0);
+  EXPECT_NEAR(halo_exchange_seconds(net, 1024, 4),
+              2.0 * halo_exchange_seconds(net, 1024, 2), 1e-12);
+  EXPECT_GT(halo_exchange_seconds(net, 1 << 20, 2),
+            halo_exchange_seconds(net, 1 << 10, 2));
+}
+
+TEST(Collectives, BarrierIsFreeOnOneNode) {
+  EXPECT_DOUBLE_EQ(barrier_seconds(infiniband_hdr(), 1), 0.0);
+  EXPECT_GT(barrier_seconds(infiniband_hdr(), 2), 0.0);
+}
+
+// --------------------------------------------------- comm pattern map --
+TEST(CommPattern, FollowsAccessPattern) {
+  EXPECT_EQ(comm_pattern_for(find_sig("TRIAD")), CommPattern::None);
+  EXPECT_EQ(comm_pattern_for(find_sig("DOT")), CommPattern::AllReduce);
+  EXPECT_EQ(comm_pattern_for(find_sig("JACOBI_1D")), CommPattern::Halo1D);
+  EXPECT_EQ(comm_pattern_for(find_sig("JACOBI_2D")), CommPattern::Halo2D);
+  EXPECT_EQ(comm_pattern_for(find_sig("HEAT_3D")), CommPattern::Halo3D);
+  EXPECT_EQ(comm_pattern_for(find_sig("GEMM")), CommPattern::Transpose);
+}
+
+// ---------------------------------------------------------- simulator --
+TEST(DistributedSimulator, ValidatesCluster) {
+  auto c = make_cluster(0);
+  EXPECT_THROW(DistributedSimulator{c}, std::invalid_argument);
+}
+
+TEST(DistributedSimulator, OneNodeMatchesSingleNodeSimulator) {
+  const DistributedSimulator dist(make_cluster(1));
+  const sim::Simulator single(machine::sg2042());
+  const auto sig = find_sig("TRIAD");
+  const auto bd = dist.run(sig, node_cfg());
+  EXPECT_DOUBLE_EQ(bd.comm_s, 0.0);
+  EXPECT_DOUBLE_EQ(bd.sync_s, 0.0);
+  EXPECT_DOUBLE_EQ(bd.total_s, single.seconds(sig, node_cfg()));
+}
+
+TEST(DistributedSimulator, EmbarrassinglyParallelKernelsScale) {
+  const auto sig = find_sig("TRIAD");
+  const double t1 =
+      DistributedSimulator(make_cluster(1)).seconds(sig, node_cfg());
+  const double t8 =
+      DistributedSimulator(make_cluster(8)).seconds(sig, node_cfg());
+  // Barrier cost only: near-ideal strong scaling.
+  EXPECT_GT(t1 / t8, 5.0);
+}
+
+TEST(DistributedSimulator, StencilsPayHaloCosts) {
+  const auto sig = find_sig("JACOBI_2D");
+  const auto ib = DistributedSimulator(make_cluster(16, infiniband_hdr()))
+                      .run(sig, node_cfg());
+  const auto gbe =
+      DistributedSimulator(make_cluster(16, gigabit_ethernet()))
+          .run(sig, node_cfg());
+  EXPECT_GT(ib.comm_s, 0.0);
+  EXPECT_GT(gbe.comm_s, 5.0 * ib.comm_s);
+  EXPECT_LT(ib.total_s, gbe.total_s);
+}
+
+TEST(DistributedSimulator, GigabitEthernetCapsScaling) {
+  // The paper's caveat: "networking performance would also be driven by
+  // the auxiliaries coupled with the CPU".
+  const auto sig = find_sig("JACOBI_2D");
+  const double t1 = DistributedSimulator(make_cluster(1, gigabit_ethernet()))
+                        .seconds(sig, node_cfg());
+  const double t32 =
+      DistributedSimulator(make_cluster(32, gigabit_ethernet()))
+          .seconds(sig, node_cfg());
+  const double t32_ib =
+      DistributedSimulator(make_cluster(32, infiniband_hdr()))
+          .seconds(sig, node_cfg());
+  EXPECT_GT(t1 / t32_ib, 2.0 * (t1 / t32))
+      << "InfiniBand should scale much further than GbE";
+}
+
+TEST(DistributedSimulator, MoreNodesNeverSlowComputeShare) {
+  const auto sig = find_sig("HEAT_3D");
+  double prev_compute = 1e30;
+  for (int nodes : {1, 2, 4, 8, 16}) {
+    const auto bd = DistributedSimulator(make_cluster(nodes))
+                        .run(sig, node_cfg());
+    EXPECT_LT(bd.compute_s, prev_compute) << nodes;
+    prev_compute = bd.compute_s;
+  }
+}
+
+TEST(DistributedSimulator, BreakdownAddsUp) {
+  const auto sig = find_sig("DOT");
+  const auto bd =
+      DistributedSimulator(make_cluster(8)).run(sig, node_cfg());
+  EXPECT_NEAR(bd.total_s, bd.compute_s + bd.comm_s + bd.sync_s, 1e-15);
+  EXPECT_EQ(bd.comm, CommPattern::AllReduce);
+}
+
+}  // namespace
+}  // namespace sgp::distributed

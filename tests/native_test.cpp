@@ -1,0 +1,67 @@
+// Tests for the native execution backend (SuiteRunner).
+#include <gtest/gtest.h>
+
+#include "kernels/register_all.hpp"
+#include "native/suite_runner.hpp"
+
+namespace sgp::native {
+namespace {
+
+core::RunParams tiny(int threads = 1) {
+  core::RunParams rp;
+  rp.size_factor = 0.002;
+  rp.rep_factor = 1e-9;
+  rp.num_threads = threads;
+  return rp;
+}
+
+TEST(SuiteRunner, UnknownKernelThrows) {
+  const auto reg = kernels::make_registry();
+  SuiteRunner runner(reg, tiny());
+  EXPECT_THROW((void)runner.run_one("NOPE", core::Precision::FP64),
+               std::out_of_range);
+}
+
+TEST(SuiteRunner, RunOnePopulatesRecord) {
+  const auto reg = kernels::make_registry();
+  SuiteRunner runner(reg, tiny());
+  const auto rec = runner.run_one("DAXPY", core::Precision::FP32);
+  EXPECT_EQ(rec.name, "DAXPY");
+  EXPECT_EQ(rec.group, core::Group::Basic);
+  EXPECT_EQ(rec.precision, core::Precision::FP32);
+  EXPECT_EQ(rec.reps, 1u);
+  EXPECT_EQ(rec.threads, 1);
+  EXPECT_GE(rec.seconds, 0.0);
+  EXPECT_GE(rec.seconds_per_rep(), 0.0);
+}
+
+TEST(SuiteRunner, RunGroupReturnsWholeGroup) {
+  const auto reg = kernels::make_registry();
+  SuiteRunner runner(reg, tiny());
+  const auto recs =
+      runner.run_group(core::Group::Stream, core::Precision::FP64);
+  ASSERT_EQ(recs.size(), 5u);
+  for (const auto& r : recs) EXPECT_EQ(r.group, core::Group::Stream);
+}
+
+TEST(SuiteRunner, RunAllCoversSuite) {
+  const auto reg = kernels::make_registry();
+  SuiteRunner runner(reg, tiny());
+  const auto recs = runner.run_all(core::Precision::FP32);
+  EXPECT_EQ(recs.size(), 64u);
+}
+
+TEST(SuiteRunner, ThreadedRunnerAgreesWithSerial) {
+  const auto reg = kernels::make_registry();
+  SuiteRunner serial(reg, tiny(1));
+  SuiteRunner threaded(reg, tiny(3));
+  const auto a = serial.run_one("TRIAD", core::Precision::FP64);
+  const auto b = threaded.run_one("TRIAD", core::Precision::FP64);
+  EXPECT_NEAR(static_cast<double>(a.checksum),
+              static_cast<double>(b.checksum),
+              1e-6 * std::abs(static_cast<double>(a.checksum)));
+  EXPECT_EQ(b.threads, 3);
+}
+
+}  // namespace
+}  // namespace sgp::native

@@ -1,0 +1,157 @@
+// Tests for the three thread-placement policies, including the exact
+// example mappings the paper gives for the SG2042.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "machine/placement.hpp"
+
+namespace sgp::machine {
+namespace {
+
+// ----------------------------------------- property sweep (TEST_P) --
+using Case = std::tuple<int /*machine idx*/, Placement, int /*threads*/>;
+
+class PlacementProperties : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PlacementProperties, AssignmentIsValidPartialPermutation) {
+  const auto [mi, p, t] = GetParam();
+  const auto m = all_machines()[static_cast<std::size_t>(mi)];
+  if (t > m.num_cores) GTEST_SKIP() << "more threads than cores";
+  const auto cores = assign_cores(m, p, t);
+  ASSERT_EQ(cores.size(), static_cast<std::size_t>(t));
+  std::set<int> seen;
+  for (int c : cores) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, m.num_cores);
+    EXPECT_TRUE(seen.insert(c).second) << "core " << c << " assigned twice";
+  }
+}
+
+TEST_P(PlacementProperties, AnalyzeCountsAddUp) {
+  const auto [mi, p, t] = GetParam();
+  const auto m = all_machines()[static_cast<std::size_t>(mi)];
+  if (t > m.num_cores) GTEST_SKIP();
+  const auto stats = analyze(m, assign_cores(m, p, t));
+  int numa_sum = 0, cluster_sum = 0;
+  for (int n : stats.threads_per_numa) numa_sum += n;
+  for (int n : stats.threads_per_cluster) cluster_sum += n;
+  EXPECT_EQ(numa_sum, t);
+  EXPECT_EQ(cluster_sum, t);
+  EXPECT_GE(stats.regions_spanned, 1);
+  EXPECT_GE(stats.max_per_numa, 1);
+  EXPECT_GE(stats.max_per_cluster, 1);
+}
+
+TEST_P(PlacementProperties, FullMachineUsesEveryCore) {
+  const auto [mi, p, t] = GetParam();
+  const auto m = all_machines()[static_cast<std::size_t>(mi)];
+  if (t != m.num_cores) GTEST_SKIP();
+  const auto cores = assign_cores(m, p, t);
+  std::set<int> seen(cores.begin(), cores.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), m.num_cores);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementProperties,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(Placement::Block,
+                                         Placement::CyclicNuma,
+                                         Placement::ClusterCyclic),
+                       ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64)));
+
+// -------------------------------------------- paper example mappings --
+TEST(PlacementSg2042, BlockIsIdentity) {
+  const auto m = sg2042();
+  const auto cores = assign_cores(m, Placement::Block, 6);
+  EXPECT_EQ(cores, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(PlacementSg2042, CyclicFourThreadsMatchesPaper) {
+  // "four threads are mapped to cores 0, 8, 32, and 40"
+  const auto m = sg2042();
+  EXPECT_EQ(assign_cores(m, Placement::CyclicNuma, 4),
+            (std::vector<int>{0, 8, 32, 40}));
+}
+
+TEST(PlacementSg2042, CyclicEightThreadsMatchesPaper) {
+  // "eight threads are placed onto cores 0, 8, 32, 40, 1, 9, 33, and 41"
+  const auto m = sg2042();
+  EXPECT_EQ(assign_cores(m, Placement::CyclicNuma, 8),
+            (std::vector<int>{0, 8, 32, 40, 1, 9, 33, 41}));
+}
+
+TEST(PlacementSg2042, ClusterEightThreadsMatchesPaper) {
+  // "8 threads would be mapped to cores 0, 8, 32, 40, 16, 24, 48, and 56"
+  const auto m = sg2042();
+  EXPECT_EQ(assign_cores(m, Placement::ClusterCyclic, 8),
+            (std::vector<int>{0, 8, 32, 40, 16, 24, 48, 56}));
+}
+
+TEST(PlacementSg2042, ClusterSixteenThreadsUseDistinctClusters) {
+  const auto m = sg2042();
+  const auto cores = assign_cores(m, Placement::ClusterCyclic, 16);
+  const auto stats = analyze(m, cores);
+  // 16 threads over 16 clusters: one each.
+  EXPECT_EQ(stats.max_per_cluster, 1);
+  EXPECT_EQ(stats.regions_spanned, 4);
+}
+
+TEST(PlacementSg2042, CyclicSpreadsRegionsBeforeFillingThem) {
+  const auto m = sg2042();
+  for (int t : {2, 3, 4}) {
+    const auto stats = analyze(m, assign_cores(m, Placement::CyclicNuma, t));
+    EXPECT_EQ(stats.regions_spanned, std::min(t, 4));
+    EXPECT_EQ(stats.max_per_numa, 1);
+  }
+}
+
+TEST(PlacementSg2042, BlockFillsRegionsPairwise) {
+  const auto m = sg2042();
+  // Block-32 = cores 0-31 = regions 0 and 1 only (16 each): the paper's
+  // Table 1 dip at 32 threads.
+  const auto stats = analyze(m, assign_cores(m, Placement::Block, 32));
+  EXPECT_EQ(stats.regions_spanned, 2);
+  EXPECT_EQ(stats.max_per_numa, 16);
+  // Block-16 = cores 0-15 also spans regions 0 and 1 (8 each).
+  const auto stats16 = analyze(m, assign_cores(m, Placement::Block, 16));
+  EXPECT_EQ(stats16.regions_spanned, 2);
+  EXPECT_EQ(stats16.max_per_numa, 8);
+}
+
+TEST(PlacementSg2042, ClusterBeatsBlockOnL2Sharing) {
+  const auto m = sg2042();
+  for (int t : {4, 8, 16, 32}) {
+    const auto block = analyze(m, assign_cores(m, Placement::Block, t));
+    const auto clus =
+        analyze(m, assign_cores(m, Placement::ClusterCyclic, t));
+    EXPECT_LE(clus.max_per_cluster, block.max_per_cluster) << t;
+  }
+}
+
+TEST(Placement, RejectsBadThreadCounts) {
+  const auto m = sg2042();
+  EXPECT_THROW((void)assign_cores(m, Placement::Block, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)assign_cores(m, Placement::Block, 65),
+               std::invalid_argument);
+  EXPECT_THROW((void)assign_cores(m, Placement::CyclicNuma, -1),
+               std::invalid_argument);
+}
+
+TEST(Placement, AnalyzeRejectsUnknownCores) {
+  const auto m = visionfive_v2();
+  EXPECT_THROW((void)analyze(m, std::vector<int>{0, 9}),
+               std::invalid_argument);
+}
+
+TEST(Placement, ToStringNames) {
+  EXPECT_EQ(to_string(Placement::Block), "block");
+  EXPECT_EQ(to_string(Placement::CyclicNuma), "cyclic");
+  EXPECT_EQ(to_string(Placement::ClusterCyclic), "cluster");
+}
+
+}  // namespace
+}  // namespace sgp::machine

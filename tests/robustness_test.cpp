@@ -1,0 +1,151 @@
+// Failure-injection and robustness tests: malformed inputs must raise
+// typed errors, never crash or silently produce garbage.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "kernels/register_all.hpp"
+#include "rvv/rollback.hpp"
+#include "sim/simulator.hpp"
+
+namespace sgp {
+namespace {
+
+// ------------------------------------------- simulator input checking --
+core::KernelSignature valid_sig() {
+  return kernels::all_signatures().front();
+}
+
+TEST(SimulatorRobustness, RejectsMalformedSignatures) {
+  const sim::Simulator simulator(machine::sg2042());
+  sim::SimConfig cfg;
+
+  auto sig = valid_sig();
+  sig.iters_per_rep = 0.0;
+  EXPECT_THROW((void)simulator.run(sig, cfg), std::invalid_argument);
+
+  sig = valid_sig();
+  sig.reps = -1.0;
+  EXPECT_THROW((void)simulator.run(sig, cfg), std::invalid_argument);
+
+  sig = valid_sig();
+  sig.working_set_elems = 0.0;
+  EXPECT_THROW((void)simulator.run(sig, cfg), std::invalid_argument);
+
+  sig = valid_sig();
+  sig.seq_fraction = 1.5;
+  EXPECT_THROW((void)simulator.run(sig, cfg), std::invalid_argument);
+}
+
+TEST(SimulatorRobustness, RejectsBrokenMachineAtConstruction) {
+  auto m = machine::sg2042();
+  m.numa.clear();
+  EXPECT_THROW(sim::Simulator{m}, std::invalid_argument);
+}
+
+// --------------------------------------------- rvv parser robustness --
+// Deterministic pseudo-random text must never crash the parser: it
+// either parses or throws ParseError.
+TEST(ParserRobustness, RandomTextParsesOrThrowsCleanly) {
+  std::mt19937 rng(1234);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .,()#:-\n\tv";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len(0, 400);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) text += alphabet[pick(rng)];
+    try {
+      const auto p = rvv::parse(text);
+      // If it parsed, printing and re-parsing must also succeed.
+      (void)rvv::parse(rvv::print(p));
+    } catch (const rvv::ParseError&) {
+      // acceptable
+    }
+  }
+}
+
+TEST(ParserRobustness, MutatedValidProgramsNeverCrashRollback) {
+  const std::string base =
+      "loop:\n"
+      "    vsetvli t0, a0, e32, m1, ta, ma\n"
+      "    vle32.v v0, (a1)\n"
+      "    vfmacc.vv v4, v0, v1\n"
+      "    vse32.v v4, (a2)\n"
+      "    sub a0, a0, t0\n"
+      "    bnez a0, loop\n";
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> ch(32, 126);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = base;
+    // Flip three characters.
+    for (int k = 0; k < 3; ++k) {
+      text[pos(rng)] = static_cast<char>(ch(rng));
+    }
+    try {
+      (void)rvv::rollback(rvv::parse(text));
+    } catch (const rvv::ParseError&) {
+    } catch (const rvv::RollbackError&) {
+    }
+  }
+}
+
+TEST(ParserRobustness, DeeplyNestedOperandsAreFine) {
+  std::string line = "    add x1";
+  for (int i = 0; i < 200; ++i) line += ", x2";
+  line += "\n";
+  const auto p = rvv::parse(line);
+  EXPECT_EQ(p.lines[0].operands.size(), 201u);
+}
+
+TEST(ParserRobustness, VeryLongProgram) {
+  std::string text;
+  for (int i = 0; i < 20000; ++i) text += "    vfadd.vv v0, v1, v2\n";
+  const auto p = rvv::parse(text);
+  EXPECT_EQ(p.instruction_count(), 20000u);
+  EXPECT_EQ(p.vector_instruction_count(), 20000u);
+}
+
+// ------------------------------------------------- registry integrity --
+TEST(RegistryRobustness, FactoriesAreReentrant) {
+  const auto reg = kernels::make_registry();
+  // Creating the same kernel twice yields independent objects.
+  auto a = reg.create("DAXPY");
+  auto b = reg.create("DAXPY");
+  EXPECT_NE(a.get(), b.get());
+  core::RunParams rp;
+  rp.size_factor = 0.001;
+  core::SerialExecutor exec;
+  a->set_up(core::Precision::FP32, rp);
+  b->set_up(core::Precision::FP64, rp);
+  a->run_rep(core::Precision::FP32, exec);
+  b->run_rep(core::Precision::FP64, exec);
+  a->tear_down();
+  b->tear_down();
+}
+
+TEST(RegistryRobustness, SetUpTearDownCycleIsRepeatable) {
+  const auto reg = kernels::make_registry();
+  auto k = reg.create("HYDRO_2D");
+  core::RunParams rp;
+  rp.size_factor = 0.002;
+  core::SerialExecutor exec;
+  long double first = 0.0L;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    k->set_up(core::Precision::FP64, rp);
+    k->run_rep(core::Precision::FP64, exec);
+    const auto sum = k->compute_checksum(core::Precision::FP64);
+    if (cycle == 0) {
+      first = sum;
+    } else {
+      EXPECT_EQ(sum, first) << "cycle " << cycle;
+    }
+    k->tear_down();
+  }
+}
+
+}  // namespace
+}  // namespace sgp

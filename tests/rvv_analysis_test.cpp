@@ -1,0 +1,112 @@
+// Tests for the RVV instruction-mix analyzer.
+#include <gtest/gtest.h>
+
+#include "rvv/analysis.hpp"
+#include "rvv/codegen.hpp"
+#include "rvv/rollback.hpp"
+
+namespace sgp::rvv {
+namespace {
+
+TEST(Analysis, ClassifiesBasicMix) {
+  const auto p = parse(
+      "loop:\n"
+      "    vsetvli t0, a0, e32, m1\n"
+      "    vle.v v0, (a1)\n"
+      "    vle.v v1, (a2)\n"
+      "    vfmacc.vv v4, v0, v1\n"
+      "    vse.v v4, (a3)\n"
+      "    add a1, a1, t1\n"
+      "    sub a0, a0, t0\n"
+      "    bnez a0, loop\n");
+  const auto mix = analyze(p);
+  EXPECT_EQ(mix.total, 8u);
+  EXPECT_EQ(mix.vsetvl, 1u);
+  EXPECT_EQ(mix.vector, 4u);
+  EXPECT_EQ(mix.vector_memory, 3u);
+  EXPECT_EQ(mix.vector_arithmetic, 1u);
+  EXPECT_EQ(mix.scalar, 3u);
+  EXPECT_EQ(mix.branches, 1u);
+  EXPECT_DOUBLE_EQ(mix.vector_ratio(), 0.5);
+  EXPECT_NEAR(mix.arith_per_mem(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Analysis, EmptyProgram) {
+  const auto mix = analyze(parse("# just a comment\n"));
+  EXPECT_EQ(mix.total, 0u);
+  EXPECT_DOUBLE_EQ(mix.vector_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(mix.arith_per_mem(), 0.0);
+}
+
+TEST(Analysis, DoesNotMistakeArithmeticForMemory) {
+  const auto p = parse(
+      "    vsub.vv v0, v1, v2\n"
+      "    vsll.vi v0, v0, 2\n"
+      "    vslideup.vx v1, v0, t0\n"
+      "    vmv.v.v v2, v1\n"
+      "    vid.v v3\n");
+  const auto mix = analyze(p);
+  EXPECT_EQ(mix.vector, 5u);
+  EXPECT_EQ(mix.vector_memory, 0u);
+  EXPECT_EQ(mix.vector_arithmetic, 5u);
+}
+
+TEST(Analysis, RecognisesAllMemoryForms) {
+  const auto p = parse(
+      "    vle32.v v0, (a1)\n"
+      "    vse64.v v0, (a2)\n"
+      "    vlse32.v v0, (a1), a3\n"
+      "    vluxei32.v v0, (a1), v2\n"
+      "    vsoxei32.v v0, (a2), v2\n"
+      "    vlw.v v0, (a1)\n"
+      "    vleff.v v0, (a1)\n"
+      "    vsxe.v v0, (a2), v2\n");
+  const auto mix = analyze(p);
+  EXPECT_EQ(mix.vector_memory, 8u);
+  EXPECT_EQ(mix.vector_arithmetic, 0u);
+}
+
+TEST(Analysis, VlaLoopHasHigherVsetvlDensityThanVls) {
+  LoopSpec spec;
+  const auto vla = analyze(emit_loop(spec, CodegenMode::VLA, Dialect::V1_0));
+  const auto vls = analyze(emit_loop(spec, CodegenMode::VLS, Dialect::V1_0));
+  EXPECT_EQ(vla.vsetvl, vls.vsetvl);  // one each statically...
+  // ...but the VLA one is inside the loop, so the static scalar count of
+  // the VLA body is higher per vector op.
+  EXPECT_GT(static_cast<double>(vla.scalar) / vla.vector,
+            0.0);
+  EXPECT_GE(vla.total, vls.vector + vls.vsetvl);
+}
+
+TEST(Analysis, RollbackPreservesTheMixShape) {
+  LoopSpec spec;
+  spec.loads = 3;
+  spec.stores = 1;
+  const auto v1 = emit_loop(spec, CodegenMode::VLA, Dialect::V1_0);
+  const auto rolled = rollback(v1).program;
+  const auto before = analyze(v1);
+  const auto after = analyze(rolled);
+  EXPECT_EQ(before.vector_memory, after.vector_memory);
+  EXPECT_EQ(before.vector_arithmetic, after.vector_arithmetic);
+  EXPECT_EQ(before.vsetvl, after.vsetvl);
+}
+
+TEST(Analysis, RenderMixMentionsTheNumbers) {
+  const auto p = parse("    vle.v v0, (a1)\n    vfadd.vv v1, v0, v0\n");
+  const auto text = render_mix(analyze(p));
+  EXPECT_NE(text.find("instructions: 2"), std::string::npos);
+  EXPECT_NE(text.find("memory:   1"), std::string::npos);
+}
+
+TEST(Analysis, HistogramCountsPerMnemonic) {
+  const auto p = parse(
+      "    vle.v v0, (a1)\n"
+      "    vle.v v1, (a2)\n"
+      "    vfadd.vv v2, v0, v1\n");
+  const auto mix = analyze(p);
+  EXPECT_EQ(mix.by_mnemonic.at("vle.v"), 2u);
+  EXPECT_EQ(mix.by_mnemonic.at("vfadd.vv"), 1u);
+}
+
+}  // namespace
+}  // namespace sgp::rvv

@@ -1,0 +1,235 @@
+// Semantic tests: the emitted RVV loops, executed by the interpreter,
+// must compute the right answers — and the rollback pass must preserve
+// them exactly. This is the functional proof behind the paper's claim
+// that rolled-back Clang code is usable on the C920.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "rvv/codegen.hpp"
+#include "rvv/interpreter.hpp"
+#include "rvv/rollback.hpp"
+
+namespace sgp::rvv {
+namespace {
+
+constexpr std::uint64_t kA = 0x1000, kB = 0x9000, kC = 0x11000;
+
+std::vector<float> input_f32(std::size_t n, double scale) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(scale * (std::sin(0.1 * i) + 1.5));
+  }
+  return v;
+}
+
+std::vector<double> input_f64(std::size_t n, double scale) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = scale * (std::sin(0.1 * i) + 1.5);
+  }
+  return v;
+}
+
+/// Runs an elementwise-multiply loop program on fresh state and returns
+/// the output array.
+template <class Real>
+std::vector<Real> run_mul(const Program& p, std::size_t n, int vlen) {
+  Interpreter interp(0x20000, vlen);
+  if constexpr (std::is_same_v<Real, float>) {
+    interp.store_f32(kA, input_f32(n, 1.0));
+    interp.store_f32(kB, input_f32(n, 0.5));
+  } else {
+    interp.store_f64(kA, input_f64(n, 1.0));
+    interp.store_f64(kB, input_f64(n, 0.5));
+  }
+  interp.set_x("a0", static_cast<std::int64_t>(n));
+  interp.set_x("a1", kA);
+  interp.set_x("a2", kB);
+  interp.set_x("a3", kC);
+  interp.run(p);
+  if constexpr (std::is_same_v<Real, float>) {
+    return interp.load_f32(kC, n);
+  } else {
+    return interp.load_f64(kC, n);
+  }
+}
+
+LoopSpec mul_spec(int sew) {
+  LoopSpec spec;
+  spec.name = "mul";
+  spec.sew = sew;
+  spec.loads = 2;
+  spec.stores = 1;
+  spec.fmacc = 0;
+  spec.fmul = 1;
+  return spec;
+}
+
+// -------------------------------------------- elementwise correctness --
+using ModeDialect = std::tuple<CodegenMode, Dialect, std::size_t /*n*/>;
+
+class MulLoop : public ::testing::TestWithParam<ModeDialect> {};
+
+TEST_P(MulLoop, ComputesElementwiseProductFp32) {
+  const auto [mode, dialect, n] = GetParam();
+  const auto p = emit_loop(mul_spec(32), mode, dialect);
+  const auto out = run_mul<float>(p, n, 128);
+  const auto a = input_f32(n, 1.0);
+  const auto b = input_f32(n, 0.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(out[i], a[i] * b[i]) << "i=" << i;
+  }
+}
+
+TEST_P(MulLoop, ComputesElementwiseProductFp64) {
+  const auto [mode, dialect, n] = GetParam();
+  const auto p = emit_loop(mul_spec(64), mode, dialect);
+  const auto out = run_mul<double>(p, n, 128);
+  const auto a = input_f64(n, 1.0);
+  const auto b = input_f64(n, 0.5);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(out[i], a[i] * b[i]) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MulLoop,
+    ::testing::Combine(::testing::Values(CodegenMode::VLA,
+                                         CodegenMode::VLS),
+                       ::testing::Values(Dialect::V1_0, Dialect::V0_7_1),
+                       // n = multiple of VL, with remainder, tiny
+                       ::testing::Values<std::size_t>(64, 67, 3)));
+
+// ------------------------------------------- rollback is semantics-safe --
+class RollbackSemantics
+    : public ::testing::TestWithParam<std::tuple<CodegenMode, int>> {};
+
+TEST_P(RollbackSemantics, RolledBackProgramComputesIdenticalResults) {
+  const auto [mode, sew] = GetParam();
+  const std::size_t n = 61;  // not a multiple of any VL
+  const auto v1 = emit_loop(mul_spec(sew), mode, Dialect::V1_0);
+  const auto v071 = rollback(v1).program;
+  ASSERT_TRUE(verify(v071, Dialect::V0_7_1).empty());
+  if (sew == 32) {
+    const auto before = run_mul<float>(v1, n, 128);
+    const auto after = run_mul<float>(v071, n, 128);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(before[i], after[i]) << "i=" << i;
+    }
+  } else {
+    const auto before = run_mul<double>(v1, n, 128);
+    const auto after = run_mul<double>(v071, n, 128);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(before[i], after[i]) << "i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RollbackSemantics,
+    ::testing::Combine(::testing::Values(CodegenMode::VLA,
+                                         CodegenMode::VLS),
+                       ::testing::Values(32, 64)));
+
+// ------------------------------------------------ VLA is VLEN-agnostic --
+TEST(VlaPortability, SameResultsAtAnyVlen) {
+  const std::size_t n = 103;
+  const auto p = emit_loop(mul_spec(32), CodegenMode::VLA, Dialect::V1_0);
+  const auto at128 = run_mul<float>(p, n, 128);
+  const auto at256 = run_mul<float>(p, n, 256);
+  const auto at512 = run_mul<float>(p, n, 512);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(at128[i], at256[i]) << i;
+    ASSERT_EQ(at128[i], at512[i]) << i;
+  }
+}
+
+TEST(VlaPortability, WiderVlenUsesFewerStrips) {
+  const std::size_t n = 128;
+  const auto p = emit_loop(mul_spec(32), CodegenMode::VLA, Dialect::V1_0);
+  Interpreter narrow(0x20000, 128), wide(0x20000, 512);
+  for (auto* interp : {&narrow, &wide}) {
+    interp->store_f32(kA, input_f32(n, 1.0));
+    interp->store_f32(kB, input_f32(n, 0.5));
+    interp->set_x("a0", static_cast<std::int64_t>(n));
+    interp->set_x("a1", kA);
+    interp->set_x("a2", kB);
+    interp->set_x("a3", kC);
+  }
+  const auto r128 = narrow.run(p);
+  const auto r512 = wide.run(p);
+  EXPECT_EQ(r128.strips, 32u);  // 128 elems / 4 lanes
+  EXPECT_EQ(r512.strips, 8u);   // 128 elems / 16 lanes
+  EXPECT_LT(r512.instructions_executed, r128.instructions_executed);
+}
+
+// ------------------------------------------------------- dot product --
+TEST(Reduction, DotProductMatchesReference) {
+  const std::size_t n = 77;
+  LoopSpec spec;
+  spec.name = "dot";
+  spec.sew = 32;
+  spec.loads = 2;
+  spec.stores = 0;
+  spec.fmacc = 1;
+  spec.reduction = true;
+  for (const auto dialect : {Dialect::V1_0, Dialect::V0_7_1}) {
+    const auto p = emit_loop(spec, CodegenMode::VLA, dialect);
+    Interpreter interp(0x20000, 128);
+    const auto a = input_f32(n, 1.0);
+    const auto b = input_f32(n, 0.5);
+    interp.store_f32(kA, a);
+    interp.store_f32(kB, b);
+    interp.set_x("a0", static_cast<std::int64_t>(n));
+    interp.set_x("a1", kA);
+    interp.set_x("a2", kB);
+    interp.run(p);
+    double ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ref += static_cast<double>(a[i]) * b[i];
+    }
+    EXPECT_NEAR(interp.f("fa0"), ref, 1e-3)
+        << to_string(dialect);
+  }
+}
+
+// ------------------------------------------------------ error paths --
+TEST(InterpreterErrors, UnknownInstructionThrows) {
+  Interpreter interp(0x1000);
+  EXPECT_THROW((void)interp.run(parse("frobnicate a0, a1\n")), ExecError);
+}
+
+TEST(InterpreterErrors, RunawayLoopIsCaught) {
+  Interpreter interp(0x1000);
+  const auto p = parse("loop:\n    li a0, 1\n    bnez a0, loop\n");
+  EXPECT_THROW((void)interp.run(p, 1000), ExecError);
+}
+
+TEST(InterpreterErrors, OutOfRangeMemoryThrows) {
+  Interpreter interp(0x100);
+  const auto p = parse("    flw f0, 0(a1)\n");
+  Interpreter i2(0x100);
+  i2.set_x("a1", 0x10000);
+  EXPECT_THROW((void)i2.run(p), std::out_of_range);
+}
+
+TEST(InterpreterErrors, MismatchedSewLoadThrows) {
+  Interpreter interp(0x1000);
+  const auto p = parse(
+      "    vsetvli t0, a0, e32, m1\n"
+      "    vle64.v v0, (a1)\n");
+  interp.set_x("a0", 4);
+  EXPECT_THROW((void)interp.run(p), ExecError);
+}
+
+TEST(InterpreterState, ZeroRegisterIsImmutable) {
+  Interpreter interp(0x100);
+  interp.set_x("zero", 42);
+  EXPECT_EQ(interp.x("zero"), 0);
+}
+
+}  // namespace
+}  // namespace sgp::rvv

@@ -1,0 +1,165 @@
+// Tests for the RVV assembly IR: parsing, printing, dialect knowledge
+// and the verifier.
+#include <gtest/gtest.h>
+
+#include "rvv/ir.hpp"
+
+namespace sgp::rvv {
+namespace {
+
+TEST(Parse, ClassifiesLineKinds) {
+  const auto p = parse(
+      "# a comment line\n"
+      "label:\n"
+      ".align 2\n"
+      "    vsetvli t0, a0, e32, m1\n"
+      "\n"
+      "    add a1, a1, t1\n");
+  ASSERT_EQ(p.lines.size(), 6u);
+  EXPECT_EQ(p.lines[0].kind, LineKind::Comment);
+  EXPECT_EQ(p.lines[1].kind, LineKind::Label);
+  EXPECT_EQ(p.lines[2].kind, LineKind::Directive);
+  EXPECT_EQ(p.lines[3].kind, LineKind::Instruction);
+  EXPECT_EQ(p.lines[4].kind, LineKind::Blank);
+  EXPECT_EQ(p.lines[5].kind, LineKind::Instruction);
+}
+
+TEST(Parse, SplitsOperands) {
+  const auto p = parse("vfmacc.vv v4, v0, v1\n");
+  ASSERT_EQ(p.lines.size(), 1u);
+  const auto& l = p.lines[0];
+  EXPECT_EQ(l.mnemonic, "vfmacc.vv");
+  ASSERT_EQ(l.operands.size(), 3u);
+  EXPECT_EQ(l.operands[0], "v4");
+  EXPECT_EQ(l.operands[1], "v0");
+  EXPECT_EQ(l.operands[2], "v1");
+}
+
+TEST(Parse, LowercasesMnemonics) {
+  const auto p = parse("VLE32.V v0, (a1)\n");
+  EXPECT_EQ(p.lines[0].mnemonic, "vle32.v");
+}
+
+TEST(Parse, KeepsTrailingComments) {
+  const auto p = parse("vadd.vv v0, v1, v2 # accumulate\n");
+  EXPECT_EQ(p.lines[0].text, "# accumulate");
+}
+
+TEST(Parse, TracksSourceLines) {
+  const auto p = parse("nop\n\nnop\n");
+  EXPECT_EQ(p.lines[0].source_line, 1u);
+  EXPECT_EQ(p.lines[2].source_line, 3u);
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse("vadd.vv v0,, v1\n"), ParseError);
+  EXPECT_THROW((void)parse("vadd.vv v0, v1,\n"), ParseError);
+  EXPECT_THROW((void)parse(":\n"), ParseError);
+}
+
+TEST(Parse, ErrorCarriesLineNumber) {
+  try {
+    (void)parse("nop\nvadd.vv v0,, v1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line_number, 2u);
+  }
+}
+
+TEST(PrintParse, RoundTripsInstructions) {
+  const std::string src =
+      "kernel:\n"
+      "    vsetvli t0, a0, e32, m1\n"
+      "    vle.v v0, (a1)\n"
+      "    vfmacc.vv v4, v0, v1\n"
+      "    vse.v v4, (a2)\n"
+      "    ret\n";
+  const auto p1 = parse(src);
+  const auto p2 = parse(print(p1));
+  ASSERT_EQ(p1.instruction_count(), p2.instruction_count());
+  ASSERT_EQ(p1.lines.size(), p2.lines.size());
+  for (std::size_t i = 0; i < p1.lines.size(); ++i) {
+    EXPECT_EQ(p1.lines[i].kind, p2.lines[i].kind);
+    EXPECT_EQ(p1.lines[i].mnemonic, p2.lines[i].mnemonic);
+    EXPECT_EQ(p1.lines[i].operands, p2.lines[i].operands);
+  }
+}
+
+TEST(Program, CountsVectorInstructions) {
+  const auto p = parse(
+      "    vle32.v v0, (a1)\n"
+      "    add a1, a1, t1\n"
+      "    vse32.v v0, (a2)\n");
+  EXPECT_EQ(p.instruction_count(), 3u);
+  EXPECT_EQ(p.vector_instruction_count(), 2u);
+}
+
+// ---------------------------------------------------- mnemonic tables --
+TEST(Dialect, ScalarInstructionsAlwaysKnown) {
+  EXPECT_TRUE(known_mnemonic("add", Dialect::V1_0));
+  EXPECT_TRUE(known_mnemonic("bnez", Dialect::V0_7_1));
+}
+
+TEST(Dialect, CommonVectorOpsKnownInBoth) {
+  for (const char* m : {"vfadd.vv", "vfmacc.vv", "vmv.v.x", "vredsum.vs",
+                        "vfredosum.vs", "vslideup.vx"}) {
+    EXPECT_TRUE(known_mnemonic(m, Dialect::V1_0)) << m;
+    EXPECT_TRUE(known_mnemonic(m, Dialect::V0_7_1)) << m;
+  }
+}
+
+TEST(Dialect, TypedLoadsAreV1Only) {
+  for (const char* m : {"vle32.v", "vse64.v", "vlse8.v", "vluxei32.v",
+                        "vsetivli", "vcpop.m", "vzext.vf2", "vmv1r.v"}) {
+    EXPECT_TRUE(known_mnemonic(m, Dialect::V1_0)) << m;
+    EXPECT_FALSE(known_mnemonic(m, Dialect::V0_7_1)) << m;
+  }
+}
+
+TEST(Dialect, LegacyLoadsAreV071Only) {
+  for (const char* m : {"vle.v", "vsw.v", "vlxe.v", "vpopc.m",
+                        "vmandnot.mm", "vfredsum.vs", "vext.x.v"}) {
+    EXPECT_TRUE(known_mnemonic(m, Dialect::V0_7_1)) << m;
+    EXPECT_FALSE(known_mnemonic(m, Dialect::V1_0)) << m;
+  }
+}
+
+// ------------------------------------------------------------ verify --
+TEST(Verify, CleanV071ProgramHasNoIssues) {
+  const auto p = parse(
+      "    vsetvli t0, a0, e32, m1\n"
+      "    vle.v v0, (a1)\n"
+      "    vfadd.vv v1, v0, v0\n"
+      "    vse.v v1, (a2)\n");
+  EXPECT_TRUE(verify(p, Dialect::V0_7_1).empty());
+  // vle.v/vse.v are v0.7.1-only forms, so the same program is NOT
+  // valid v1.0.
+  EXPECT_FALSE(verify(p, Dialect::V1_0).empty());
+}
+
+TEST(Verify, FlagsV1OnlyMnemonicsUnder071) {
+  const auto p = parse("    vle32.v v0, (a1)\n");
+  const auto issues = verify(p, Dialect::V0_7_1);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].source_line, 1u);
+}
+
+TEST(Verify, FlagsPolicyFlagsUnder071) {
+  const auto p = parse("    vsetvli t0, a0, e32, m1, ta, ma\n");
+  // Two policy-flag issues (ta and ma).
+  EXPECT_EQ(verify(p, Dialect::V0_7_1).size(), 2u);
+  EXPECT_TRUE(verify(p, Dialect::V1_0).empty());
+}
+
+TEST(Verify, FlagsFractionalLmulUnder071) {
+  const auto p = parse("    vsetvli t0, a0, e32, mf2\n");
+  EXPECT_EQ(verify(p, Dialect::V0_7_1).size(), 1u);
+}
+
+TEST(Verify, FlagsLegacyMnemonicsUnderV1) {
+  const auto p = parse("    vlw.v v0, (a1)\n    vpopc.m t0, v0\n");
+  EXPECT_EQ(verify(p, Dialect::V1_0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace sgp::rvv

@@ -1,0 +1,98 @@
+// Tests for machine-descriptor INI serialization.
+#include <gtest/gtest.h>
+
+#include "machine/serialize.hpp"
+
+namespace sgp::machine {
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, PreservesEverythingTheModelUses) {
+  const auto original =
+      all_machines()[static_cast<std::size_t>(GetParam())];
+  const auto text = to_ini(original);
+  const auto parsed = from_ini(text);
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.num_cores, original.num_cores);
+  EXPECT_DOUBLE_EQ(parsed.core.clock_ghz, original.core.clock_ghz);
+  EXPECT_EQ(parsed.core.decode_width, original.core.decode_width);
+  EXPECT_EQ(parsed.core.out_of_order, original.core.out_of_order);
+  EXPECT_EQ(parsed.core.fma, original.core.fma);
+  EXPECT_DOUBLE_EQ(parsed.core.scalar_eff, original.core.scalar_eff);
+  EXPECT_DOUBLE_EQ(parsed.core.stream_bw_gbs,
+                   original.core.stream_bw_gbs);
+  EXPECT_DOUBLE_EQ(parsed.core.scalar_stream_derate,
+                   original.core.scalar_stream_derate);
+  ASSERT_EQ(parsed.core.vector.has_value(),
+            original.core.vector.has_value());
+  if (original.core.vector) {
+    EXPECT_EQ(parsed.core.vector->isa, original.core.vector->isa);
+    EXPECT_EQ(parsed.core.vector->width_bits,
+              original.core.vector->width_bits);
+    EXPECT_EQ(parsed.core.vector->fp64, original.core.vector->fp64);
+  }
+  EXPECT_EQ(parsed.l1d.size_bytes, original.l1d.size_bytes);
+  EXPECT_EQ(parsed.l2.size_bytes, original.l2.size_bytes);
+  EXPECT_EQ(parsed.l3.size_bytes, original.l3.size_bytes);
+  ASSERT_EQ(parsed.numa.size(), original.numa.size());
+  for (std::size_t r = 0; r < parsed.numa.size(); ++r) {
+    EXPECT_EQ(parsed.numa[r].cores, original.numa[r].cores) << r;
+    EXPECT_DOUBLE_EQ(parsed.numa[r].mem_bw_gbs,
+                     original.numa[r].mem_bw_gbs);
+  }
+  EXPECT_EQ(parsed.clusters, original.clusters);
+  EXPECT_DOUBLE_EQ(parsed.cluster_bw_gbs, original.cluster_bw_gbs);
+  EXPECT_DOUBLE_EQ(parsed.oversubscribe_gamma,
+                   original.oversubscribe_gamma);
+  EXPECT_DOUBLE_EQ(parsed.oversubscribe_knee,
+                   original.oversubscribe_knee);
+  EXPECT_EQ(parsed.l3_memory_side, original.l3_memory_side);
+  EXPECT_DOUBLE_EQ(parsed.memory_derating, original.memory_derating);
+  EXPECT_DOUBLE_EQ(parsed.fork_join_us, original.fork_join_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, RoundTrip, ::testing::Range(0, 7));
+
+TEST(FromIni, RejectsSyntaxErrors) {
+  EXPECT_THROW((void)from_ini("[machine\nname = x\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_ini("name = orphan key\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_ini("[machine]\nnum_cores = four\n"),
+               std::invalid_argument);
+}
+
+TEST(FromIni, RejectsMissingSections) {
+  EXPECT_THROW((void)from_ini("[machine]\nname = x\nnum_cores = 4\n"),
+               std::invalid_argument);
+}
+
+TEST(FromIni, RejectsInconsistentTopology) {
+  // Cores listed in NUMA do not cover num_cores -> validate() fires.
+  auto text = to_ini(visionfive_v2());
+  const auto pos = text.find("cores = 0,1,2,3");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 15, "cores = 0,1,2\n#");
+  EXPECT_THROW((void)from_ini(text), std::invalid_argument);
+}
+
+TEST(FromIni, CommentsAndBlankLinesAreIgnored) {
+  auto text = to_ini(intel_sandybridge());
+  text = "# a leading comment\n\n" + text + "\n# trailing\n";
+  EXPECT_NO_THROW((void)from_ini(text));
+}
+
+TEST(ToIni, OutputMentionsKeySections) {
+  const auto text = to_ini(sg2042());
+  for (const char* needle :
+       {"[machine]", "[core]", "[vector]", "[l1d]", "[l2]", "[l3]",
+        "[numa.0]", "[numa.3]", "[sync]", "[memory]",
+        "cores = 0,1,2,3,4,5,6,7,16,17"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace sgp::machine

@@ -1,0 +1,131 @@
+// Property-based sweep of the simulator over the full
+// (kernel x machine) space: structural invariants that must hold for
+// every combination, regardless of calibration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "kernels/register_all.hpp"
+#include "sim/simulator.hpp"
+
+namespace sgp::sim {
+namespace {
+
+using core::Precision;
+using machine::Placement;
+
+const std::vector<core::KernelSignature>& sigs() {
+  static const auto s = kernels::all_signatures();
+  return s;
+}
+
+const std::vector<machine::MachineDescriptor>& machines() {
+  static const auto m = machine::all_machines();
+  return m;
+}
+
+using Case = std::tuple<int /*kernel*/, int /*machine*/>;
+
+class SimProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  const core::KernelSignature& sig() const {
+    return sigs()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  }
+  const machine::MachineDescriptor& m() const {
+    return machines()[static_cast<std::size_t>(std::get<1>(GetParam()))];
+  }
+};
+
+TEST_P(SimProperties, BreakdownIsConsistent) {
+  const Simulator simulator(m());
+  for (const auto prec : core::all_precisions) {
+    SimConfig cfg;
+    cfg.precision = prec;
+    cfg.nthreads = std::min(4, m().num_cores);
+    cfg.placement = Placement::ClusterCyclic;
+    const auto bd = simulator.run(sig(), cfg);
+    EXPECT_GT(bd.total_s, 0.0);
+    EXPECT_TRUE(std::isfinite(bd.total_s));
+    EXPECT_GE(bd.compute_s, 0.0);
+    EXPECT_GE(bd.memory_s, 0.0);
+    EXPECT_GE(bd.sync_s, 0.0);
+    EXPECT_GE(bd.atomic_s, 0.0);
+    // total = max(compute, memory) + sync + atomic.
+    EXPECT_NEAR(bd.total_s,
+                std::max(bd.compute_s, bd.memory_s) + bd.sync_s +
+                    bd.atomic_s,
+                1e-12 * bd.total_s);
+    // Vector execution requires vector hardware.
+    if (bd.vector_path) {
+      EXPECT_TRUE(m().core.vector.has_value());
+    }
+  }
+}
+
+TEST_P(SimProperties, Fp64NeverFasterThanFp32) {
+  const Simulator simulator(m());
+  SimConfig cfg;
+  cfg.nthreads = 1;
+  cfg.precision = Precision::FP32;
+  const double t32 = simulator.seconds(sig(), cfg);
+  cfg.precision = Precision::FP64;
+  const double t64 = simulator.seconds(sig(), cfg);
+  // Doubles move twice the bytes and never vectorise better; integer
+  // kernels are precision-independent (equality allowed everywhere).
+  EXPECT_GE(t64, t32 * 0.999) << sig().name << " on " << m().name;
+}
+
+TEST_P(SimProperties, SerialRunHasNoParallelOverheads) {
+  const Simulator simulator(m());
+  SimConfig cfg;
+  cfg.nthreads = 1;
+  const auto bd = simulator.run(sig(), cfg);
+  EXPECT_DOUBLE_EQ(bd.sync_s, 0.0);
+}
+
+TEST_P(SimProperties, DeterministicAcrossSimulatorInstances) {
+  SimConfig cfg;
+  cfg.nthreads = std::min(2, m().num_cores);
+  const double a = Simulator(m()).seconds(sig(), cfg);
+  const double b = Simulator(m()).seconds(sig(), cfg);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_P(SimProperties, ScalarModeNeverBeatsTheBestMode) {
+  // Turning vectorisation off can never help in-model (overheads only
+  // apply when vectorisation is on but unusable).
+  const Simulator simulator(m());
+  SimConfig vec, sca;
+  vec.precision = sca.precision = Precision::FP32;
+  sca.vector_mode = core::VectorMode::Scalar;
+  vec.nthreads = sca.nthreads = 1;
+  const double t_vec = simulator.seconds(sig(), vec);
+  const double t_sca = simulator.seconds(sig(), sca);
+  EXPECT_LE(t_vec, t_sca * 1.05) << sig().name << " on " << m().name;
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (int k = 0; k < 64; ++k) {
+    for (int m = 0; m < 7; ++m) cases.emplace_back(k, m);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullSweep, SimProperties, ::testing::ValuesIn(all_cases()),
+    [](const auto& info) {
+      std::string n =
+          sigs()[static_cast<std::size_t>(std::get<0>(info.param))].name +
+          "_" +
+          machines()[static_cast<std::size_t>(std::get<1>(info.param))]
+              .name;
+      for (auto& ch : n) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace sgp::sim

@@ -1,0 +1,214 @@
+// Tests for the thread pool executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "threading/pool.hpp"
+
+namespace sgp::threading {
+namespace {
+
+// ------------------------------------------------ chunk_range TEST_P --
+using ChunkCase = std::tuple<std::size_t /*n*/, int /*chunks*/>;
+
+class ChunkRange : public ::testing::TestWithParam<ChunkCase> {};
+
+TEST_P(ChunkRange, CoversDisjointlyAndBalanced) {
+  const auto [n, chunks] = GetParam();
+  std::size_t covered = 0;
+  std::size_t prev_end = 0;
+  std::size_t min_len = n + 1, max_len = 0;
+  for (int c = 0; c < chunks; ++c) {
+    const auto [b, e] = ThreadPool::chunk_range(n, chunks, c);
+    EXPECT_EQ(b, prev_end);  // contiguous, in order
+    EXPECT_LE(b, e);
+    covered += e - b;
+    prev_end = e;
+    min_len = std::min(min_len, e - b);
+    max_len = std::max(max_len, e - b);
+  }
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(prev_end, n);
+  // Static balanced chunking: sizes differ by at most one.
+  EXPECT_LE(max_len - min_len, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChunkRange,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 7, 64, 1000,
+                                                      999983),
+                       ::testing::Values(1, 2, 3, 4, 7, 16, 64)));
+
+// -------------------------------------------------------------- pool --
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.max_chunks(), 1);
+  int calls = 0;
+  pool.parallel_for(5, [&](std::size_t b, std::size_t e, int c) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 5u);
+    EXPECT_EQ(c, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, AllElementsVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkIndicesAreDistinct) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> chunk_hits(4);
+  pool.parallel_for(4000, [&](std::size_t, std::size_t, int c) {
+    chunk_hits[static_cast<std::size_t>(c)].fetch_add(1);
+  });
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(chunk_hits[static_cast<std::size_t>(c)].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReductionMatchesSerial) {
+  ThreadPool pool(6);
+  const std::size_t n = 250000;
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = 0.001 * static_cast<double>(i % 97);
+  }
+  std::vector<double> partial(static_cast<std::size_t>(pool.max_chunks()),
+                              0.0);
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e, int c) {
+    double s = 0.0;
+    for (std::size_t i = b; i < e; ++i) s += data[i];
+    partial[static_cast<std::size_t>(c)] = s;
+  });
+  const double parallel_sum =
+      std::accumulate(partial.begin(), partial.end(), 0.0);
+  const double serial_sum = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_NEAR(parallel_sum, serial_sum, 1e-6 * serial_sum + 1e-12);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(3);
+  std::vector<long> v(1000, 0);
+  for (int rep = 0; rep < 200; ++rep) {
+    pool.parallel_for(v.size(), [&](std::size_t b, std::size_t e, int) {
+      for (std::size_t i = b; i < e; ++i) ++v[i];
+    });
+  }
+  for (long x : v) ASSERT_EQ(x, 200);
+}
+
+TEST(ThreadPool, EmptyRangeIsFine) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, RangeSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e, int) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, OversubscriptionWorks) {
+  // More threads than the host has cores: still correct.
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+
+TEST(ThreadPoolDynamic, CoversEveryElementExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(50000);
+  pool.parallel_for_dynamic(hits.size(), 64,
+                            [&](std::size_t b, std::size_t e, int) {
+                              for (std::size_t i = b; i < e; ++i) {
+                                hits[i].fetch_add(1);
+                              }
+                            });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolDynamic, WorkerIdsStayInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.parallel_for_dynamic(1000, 10,
+                            [&](std::size_t, std::size_t, int w) {
+                              if (w < 0 || w >= 3) ok = false;
+                            });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolDynamic, ReductionMatchesSerial) {
+  ThreadPool pool(5);
+  const std::size_t n = 100000;
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = 0.001 * (i % 31);
+  std::vector<double> partial(5, 0.0);
+  pool.parallel_for_dynamic(n, 128,
+                            [&](std::size_t b, std::size_t e, int w) {
+                              double s = 0.0;
+                              for (std::size_t i = b; i < e; ++i) {
+                                s += data[i];
+                              }
+                              partial[static_cast<std::size_t>(w)] += s;
+                            });
+  const double got = std::accumulate(partial.begin(), partial.end(), 0.0);
+  const double want = std::accumulate(data.begin(), data.end(), 0.0);
+  EXPECT_NEAR(got, want, 1e-6 * want);
+}
+
+TEST(ThreadPoolDynamic, RejectsZeroGrain) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_dynamic(
+                   10, 0, [](std::size_t, std::size_t, int) {}),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolDynamic, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::size_t covered = 0;
+  pool.parallel_for_dynamic(17, 4,
+                            [&](std::size_t b, std::size_t e, int) {
+                              covered += e - b;
+                            });
+  EXPECT_EQ(covered, 17u);
+}
+
+TEST(ThreadPoolDynamic, EmptyRange) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for_dynamic(0, 8,
+                            [&](std::size_t, std::size_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace sgp::threading
+
