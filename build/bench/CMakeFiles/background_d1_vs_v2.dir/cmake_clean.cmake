@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_d1_vs_v2.dir/background_d1_vs_v2.cpp.o"
+  "CMakeFiles/background_d1_vs_v2.dir/background_d1_vs_v2.cpp.o.d"
+  "background_d1_vs_v2"
+  "background_d1_vs_v2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_d1_vs_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

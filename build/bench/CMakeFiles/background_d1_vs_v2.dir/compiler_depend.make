@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for background_d1_vs_v2.
+# This may be replaced when dependencies are built.

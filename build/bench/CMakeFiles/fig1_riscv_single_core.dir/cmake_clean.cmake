@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_riscv_single_core.dir/fig1_riscv_single_core.cpp.o"
+  "CMakeFiles/fig1_riscv_single_core.dir/fig1_riscv_single_core.cpp.o.d"
+  "fig1_riscv_single_core"
+  "fig1_riscv_single_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_riscv_single_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_vectorisation.dir/fig2_vectorisation.cpp.o"
+  "CMakeFiles/fig2_vectorisation.dir/fig2_vectorisation.cpp.o.d"
+  "fig2_vectorisation"
+  "fig2_vectorisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_vectorisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_clang_vla_vls.dir/fig3_clang_vla_vls.cpp.o"
+  "CMakeFiles/fig3_clang_vla_vls.dir/fig3_clang_vla_vls.cpp.o.d"
+  "fig3_clang_vla_vls"
+  "fig3_clang_vla_vls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_clang_vla_vls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

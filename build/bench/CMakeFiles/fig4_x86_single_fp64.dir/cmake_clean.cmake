@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_x86_single_fp64.dir/fig4_x86_single_fp64.cpp.o"
+  "CMakeFiles/fig4_x86_single_fp64.dir/fig4_x86_single_fp64.cpp.o.d"
+  "fig4_x86_single_fp64"
+  "fig4_x86_single_fp64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_x86_single_fp64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_x86_single_fp64.
+# This may be replaced when dependencies are built.

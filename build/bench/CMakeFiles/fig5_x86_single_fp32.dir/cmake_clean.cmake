@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_x86_single_fp32.dir/fig5_x86_single_fp32.cpp.o"
+  "CMakeFiles/fig5_x86_single_fp32.dir/fig5_x86_single_fp32.cpp.o.d"
+  "fig5_x86_single_fp32"
+  "fig5_x86_single_fp32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_x86_single_fp32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_x86_single_fp32.
+# This may be replaced when dependencies are built.

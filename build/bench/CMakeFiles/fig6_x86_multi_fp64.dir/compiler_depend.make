@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_x86_multi_fp64.
+# This may be replaced when dependencies are built.

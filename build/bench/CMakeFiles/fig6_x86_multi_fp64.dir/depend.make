@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_x86_multi_fp64.
+# This may be replaced when dependencies are built.

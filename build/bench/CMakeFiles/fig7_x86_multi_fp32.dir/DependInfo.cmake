@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_x86_multi_fp32.cpp" "bench/CMakeFiles/fig7_x86_multi_fp32.dir/fig7_x86_multi_fp32.cpp.o" "gcc" "bench/CMakeFiles/fig7_x86_multi_fp32.dir/fig7_x86_multi_fp32.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/sgp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvv/CMakeFiles/sgp_rvv.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/sgp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/sgp_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sgp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/sgp_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sgp_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/sgp_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/sgp_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/sgp_distributed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_x86_multi_fp32.dir/fig7_x86_multi_fp32.cpp.o"
+  "CMakeFiles/fig7_x86_multi_fp32.dir/fig7_x86_multi_fp32.cpp.o.d"
+  "fig7_x86_multi_fp32"
+  "fig7_x86_multi_fp32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_x86_multi_fp32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_mpi_scaling.dir/future_mpi_scaling.cpp.o"
+  "CMakeFiles/future_mpi_scaling.dir/future_mpi_scaling.cpp.o.d"
+  "future_mpi_scaling"
+  "future_mpi_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_mpi_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

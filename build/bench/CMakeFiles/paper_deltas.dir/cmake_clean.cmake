@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_deltas.dir/paper_deltas.cpp.o"
+  "CMakeFiles/paper_deltas.dir/paper_deltas.cpp.o.d"
+  "paper_deltas"
+  "paper_deltas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_deltas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_scaling_block.dir/tab1_scaling_block.cpp.o"
+  "CMakeFiles/tab1_scaling_block.dir/tab1_scaling_block.cpp.o.d"
+  "tab1_scaling_block"
+  "tab1_scaling_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_scaling_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

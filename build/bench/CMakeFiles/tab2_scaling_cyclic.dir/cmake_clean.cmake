@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_scaling_cyclic.dir/tab2_scaling_cyclic.cpp.o"
+  "CMakeFiles/tab2_scaling_cyclic.dir/tab2_scaling_cyclic.cpp.o.d"
+  "tab2_scaling_cyclic"
+  "tab2_scaling_cyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_scaling_cyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

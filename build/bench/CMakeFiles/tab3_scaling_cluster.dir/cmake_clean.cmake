@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_scaling_cluster.dir/tab3_scaling_cluster.cpp.o"
+  "CMakeFiles/tab3_scaling_cluster.dir/tab3_scaling_cluster.cpp.o.d"
+  "tab3_scaling_cluster"
+  "tab3_scaling_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_scaling_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_x86_summary.dir/tab4_x86_summary.cpp.o"
+  "CMakeFiles/tab4_x86_summary.dir/tab4_x86_summary.cpp.o.d"
+  "tab4_x86_summary"
+  "tab4_x86_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_x86_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab4_x86_summary.
+# This may be replaced when dependencies are built.

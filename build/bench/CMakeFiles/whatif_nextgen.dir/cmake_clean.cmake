@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_nextgen.dir/whatif_nextgen.cpp.o"
+  "CMakeFiles/whatif_nextgen.dir/whatif_nextgen.cpp.o.d"
+  "whatif_nextgen"
+  "whatif_nextgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_nextgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

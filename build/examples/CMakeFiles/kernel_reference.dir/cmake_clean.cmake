@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_reference.dir/kernel_reference.cpp.o"
+  "CMakeFiles/kernel_reference.dir/kernel_reference.cpp.o.d"
+  "kernel_reference"
+  "kernel_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_tool.dir/rollback_tool.cpp.o"
+  "CMakeFiles/rollback_tool.dir/rollback_tool.cpp.o.d"
+  "rollback_tool"
+  "rollback_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

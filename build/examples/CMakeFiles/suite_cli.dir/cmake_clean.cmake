@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_cli.dir/suite_cli.cpp.o"
+  "CMakeFiles/suite_cli.dir/suite_cli.cpp.o.d"
+  "suite_cli"
+  "suite_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

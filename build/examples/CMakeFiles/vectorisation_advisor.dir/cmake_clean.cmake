@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorisation_advisor.dir/vectorisation_advisor.cpp.o"
+  "CMakeFiles/vectorisation_advisor.dir/vectorisation_advisor.cpp.o.d"
+  "vectorisation_advisor"
+  "vectorisation_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorisation_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

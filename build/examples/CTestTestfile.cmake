@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "0.01")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_topology "/root/repo/build/examples/topology_report" "sg2042")
+set_tests_properties(smoke_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_advisor "/root/repo/build/examples/vectorisation_advisor" "JACOBI_2D")
+set_tests_properties(smoke_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_rollback "/root/repo/build/examples/rollback_tool" "--demo" "vls" "64")
+set_tests_properties(smoke_rollback PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_kernel_reference "/root/repo/build/examples/kernel_reference" "--md")
+set_tests_properties(smoke_kernel_reference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_roofline "/root/repo/build/examples/roofline_report" "rome" "fp32")
+set_tests_properties(smoke_roofline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_suite_cli "/root/repo/build/examples/suite_cli" "--group" "Stream" "--precision" "fp32" "--size-factor" "0.005" "--rep-factor" "0.01")
+set_tests_properties(smoke_suite_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_placement "/root/repo/build/examples/placement_explorer" "visionfive2" "fp64")
+set_tests_properties(smoke_placement PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_cluster_planner "/root/repo/build/examples/cluster_planner" "JACOBI_2D" "8")
+set_tests_properties(smoke_cluster_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("machine")
+subdirs("rvv")
+subdirs("compiler")
+subdirs("sim")
+subdirs("threading")
+subdirs("kernels")
+subdirs("native")
+subdirs("report")
+subdirs("cachesim")
+subdirs("distributed")
+subdirs("experiments")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache.cpp" "src/cachesim/CMakeFiles/sgp_cachesim.dir/cache.cpp.o" "gcc" "src/cachesim/CMakeFiles/sgp_cachesim.dir/cache.cpp.o.d"
+  "/root/repo/src/cachesim/trace.cpp" "src/cachesim/CMakeFiles/sgp_cachesim.dir/trace.cpp.o" "gcc" "src/cachesim/CMakeFiles/sgp_cachesim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/sgp_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

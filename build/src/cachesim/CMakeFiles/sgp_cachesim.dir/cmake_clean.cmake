@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/sgp_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/sgp_cachesim.dir/trace.cpp.o"
+  "CMakeFiles/sgp_cachesim.dir/trace.cpp.o.d"
+  "libsgp_cachesim.a"
+  "libsgp_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

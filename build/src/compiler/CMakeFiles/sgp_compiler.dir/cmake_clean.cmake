@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_compiler.dir/model.cpp.o"
+  "CMakeFiles/sgp_compiler.dir/model.cpp.o.d"
+  "libsgp_compiler.a"
+  "libsgp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

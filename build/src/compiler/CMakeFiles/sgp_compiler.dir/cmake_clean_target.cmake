@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsgp_compiler.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_core.dir/kernel_base.cpp.o"
+  "CMakeFiles/sgp_core.dir/kernel_base.cpp.o.d"
+  "CMakeFiles/sgp_core.dir/registry.cpp.o"
+  "CMakeFiles/sgp_core.dir/registry.cpp.o.d"
+  "libsgp_core.a"
+  "libsgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_distributed.dir/dist_simulator.cpp.o"
+  "CMakeFiles/sgp_distributed.dir/dist_simulator.cpp.o.d"
+  "CMakeFiles/sgp_distributed.dir/network.cpp.o"
+  "CMakeFiles/sgp_distributed.dir/network.cpp.o.d"
+  "libsgp_distributed.a"
+  "libsgp_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

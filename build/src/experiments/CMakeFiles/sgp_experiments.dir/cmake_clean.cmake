@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_experiments.dir/experiments.cpp.o"
+  "CMakeFiles/sgp_experiments.dir/experiments.cpp.o.d"
+  "libsgp_experiments.a"
+  "libsgp_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/algorithm/algorithm.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/algorithm/algorithm.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/algorithm/algorithm.cpp.o.d"
+  "/root/repo/src/kernels/apps/apps_a.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/apps/apps_a.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/apps/apps_a.cpp.o.d"
+  "/root/repo/src/kernels/apps/apps_b.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/apps/apps_b.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/apps/apps_b.cpp.o.d"
+  "/root/repo/src/kernels/basic/basic_a.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/basic/basic_a.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/basic/basic_a.cpp.o.d"
+  "/root/repo/src/kernels/basic/basic_b.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/basic/basic_b.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/basic/basic_b.cpp.o.d"
+  "/root/repo/src/kernels/detail/signature_builder.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/detail/signature_builder.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/detail/signature_builder.cpp.o.d"
+  "/root/repo/src/kernels/lcals/lcals.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/lcals/lcals.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/lcals/lcals.cpp.o.d"
+  "/root/repo/src/kernels/polybench/polybench_a.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/polybench/polybench_a.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/polybench/polybench_a.cpp.o.d"
+  "/root/repo/src/kernels/polybench/polybench_b.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/polybench/polybench_b.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/polybench/polybench_b.cpp.o.d"
+  "/root/repo/src/kernels/register_all.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/register_all.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/register_all.cpp.o.d"
+  "/root/repo/src/kernels/stream/stream.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/stream/stream.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/stream/stream.cpp.o.d"
+  "/root/repo/src/kernels/vector_facts.cpp" "src/kernels/CMakeFiles/sgp_kernels.dir/vector_facts.cpp.o" "gcc" "src/kernels/CMakeFiles/sgp_kernels.dir/vector_facts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sgp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_kernels.dir/algorithm/algorithm.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/algorithm/algorithm.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/apps/apps_a.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/apps/apps_a.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/apps/apps_b.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/apps/apps_b.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/basic/basic_a.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/basic/basic_a.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/basic/basic_b.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/basic/basic_b.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/detail/signature_builder.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/detail/signature_builder.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/lcals/lcals.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/lcals/lcals.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/polybench/polybench_a.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/polybench/polybench_a.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/polybench/polybench_b.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/polybench/polybench_b.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/register_all.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/register_all.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/stream/stream.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/stream/stream.cpp.o.d"
+  "CMakeFiles/sgp_kernels.dir/vector_facts.cpp.o"
+  "CMakeFiles/sgp_kernels.dir/vector_facts.cpp.o.d"
+  "libsgp_kernels.a"
+  "libsgp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

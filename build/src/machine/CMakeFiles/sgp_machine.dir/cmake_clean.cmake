@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_machine.dir/descriptor.cpp.o"
+  "CMakeFiles/sgp_machine.dir/descriptor.cpp.o.d"
+  "CMakeFiles/sgp_machine.dir/placement.cpp.o"
+  "CMakeFiles/sgp_machine.dir/placement.cpp.o.d"
+  "CMakeFiles/sgp_machine.dir/serialize.cpp.o"
+  "CMakeFiles/sgp_machine.dir/serialize.cpp.o.d"
+  "libsgp_machine.a"
+  "libsgp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_native.dir/suite_runner.cpp.o"
+  "CMakeFiles/sgp_native.dir/suite_runner.cpp.o.d"
+  "libsgp_native.a"
+  "libsgp_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

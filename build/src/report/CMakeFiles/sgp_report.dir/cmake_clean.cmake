@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_report.dir/csv.cpp.o"
+  "CMakeFiles/sgp_report.dir/csv.cpp.o.d"
+  "CMakeFiles/sgp_report.dir/stats.cpp.o"
+  "CMakeFiles/sgp_report.dir/stats.cpp.o.d"
+  "CMakeFiles/sgp_report.dir/table.cpp.o"
+  "CMakeFiles/sgp_report.dir/table.cpp.o.d"
+  "libsgp_report.a"
+  "libsgp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rvv/analysis.cpp" "src/rvv/CMakeFiles/sgp_rvv.dir/analysis.cpp.o" "gcc" "src/rvv/CMakeFiles/sgp_rvv.dir/analysis.cpp.o.d"
+  "/root/repo/src/rvv/codegen.cpp" "src/rvv/CMakeFiles/sgp_rvv.dir/codegen.cpp.o" "gcc" "src/rvv/CMakeFiles/sgp_rvv.dir/codegen.cpp.o.d"
+  "/root/repo/src/rvv/interpreter.cpp" "src/rvv/CMakeFiles/sgp_rvv.dir/interpreter.cpp.o" "gcc" "src/rvv/CMakeFiles/sgp_rvv.dir/interpreter.cpp.o.d"
+  "/root/repo/src/rvv/ir.cpp" "src/rvv/CMakeFiles/sgp_rvv.dir/ir.cpp.o" "gcc" "src/rvv/CMakeFiles/sgp_rvv.dir/ir.cpp.o.d"
+  "/root/repo/src/rvv/rollback.cpp" "src/rvv/CMakeFiles/sgp_rvv.dir/rollback.cpp.o" "gcc" "src/rvv/CMakeFiles/sgp_rvv.dir/rollback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

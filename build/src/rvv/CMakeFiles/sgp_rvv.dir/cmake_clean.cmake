@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_rvv.dir/analysis.cpp.o"
+  "CMakeFiles/sgp_rvv.dir/analysis.cpp.o.d"
+  "CMakeFiles/sgp_rvv.dir/codegen.cpp.o"
+  "CMakeFiles/sgp_rvv.dir/codegen.cpp.o.d"
+  "CMakeFiles/sgp_rvv.dir/interpreter.cpp.o"
+  "CMakeFiles/sgp_rvv.dir/interpreter.cpp.o.d"
+  "CMakeFiles/sgp_rvv.dir/ir.cpp.o"
+  "CMakeFiles/sgp_rvv.dir/ir.cpp.o.d"
+  "CMakeFiles/sgp_rvv.dir/rollback.cpp.o"
+  "CMakeFiles/sgp_rvv.dir/rollback.cpp.o.d"
+  "libsgp_rvv.a"
+  "libsgp_rvv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_rvv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

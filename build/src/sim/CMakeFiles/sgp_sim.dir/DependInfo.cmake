@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cpp" "src/sim/CMakeFiles/sgp_sim.dir/cache_model.cpp.o" "gcc" "src/sim/CMakeFiles/sgp_sim.dir/cache_model.cpp.o.d"
+  "/root/repo/src/sim/core_model.cpp" "src/sim/CMakeFiles/sgp_sim.dir/core_model.cpp.o" "gcc" "src/sim/CMakeFiles/sgp_sim.dir/core_model.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/sim/CMakeFiles/sgp_sim.dir/memory_model.cpp.o" "gcc" "src/sim/CMakeFiles/sgp_sim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sim/pattern.cpp" "src/sim/CMakeFiles/sgp_sim.dir/pattern.cpp.o" "gcc" "src/sim/CMakeFiles/sgp_sim.dir/pattern.cpp.o.d"
+  "/root/repo/src/sim/roofline.cpp" "src/sim/CMakeFiles/sgp_sim.dir/roofline.cpp.o" "gcc" "src/sim/CMakeFiles/sgp_sim.dir/roofline.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/sgp_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/sgp_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/sync_model.cpp" "src/sim/CMakeFiles/sgp_sim.dir/sync_model.cpp.o" "gcc" "src/sim/CMakeFiles/sgp_sim.dir/sync_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/sgp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/sgp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvv/CMakeFiles/sgp_rvv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

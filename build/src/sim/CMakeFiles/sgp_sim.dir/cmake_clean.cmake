@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_sim.dir/cache_model.cpp.o"
+  "CMakeFiles/sgp_sim.dir/cache_model.cpp.o.d"
+  "CMakeFiles/sgp_sim.dir/core_model.cpp.o"
+  "CMakeFiles/sgp_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/sgp_sim.dir/memory_model.cpp.o"
+  "CMakeFiles/sgp_sim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/sgp_sim.dir/pattern.cpp.o"
+  "CMakeFiles/sgp_sim.dir/pattern.cpp.o.d"
+  "CMakeFiles/sgp_sim.dir/roofline.cpp.o"
+  "CMakeFiles/sgp_sim.dir/roofline.cpp.o.d"
+  "CMakeFiles/sgp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sgp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sgp_sim.dir/sync_model.cpp.o"
+  "CMakeFiles/sgp_sim.dir/sync_model.cpp.o.d"
+  "libsgp_sim.a"
+  "libsgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_threading.dir/pool.cpp.o"
+  "CMakeFiles/sgp_threading.dir/pool.cpp.o.d"
+  "libsgp_threading.a"
+  "libsgp_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

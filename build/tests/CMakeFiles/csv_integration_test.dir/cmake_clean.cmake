@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_integration_test.dir/csv_integration_test.cpp.o"
+  "CMakeFiles/csv_integration_test.dir/csv_integration_test.cpp.o.d"
+  "csv_integration_test"
+  "csv_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_machines_test.dir/random_machines_test.cpp.o"
+  "CMakeFiles/random_machines_test.dir/random_machines_test.cpp.o.d"
+  "random_machines_test"
+  "random_machines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_machines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

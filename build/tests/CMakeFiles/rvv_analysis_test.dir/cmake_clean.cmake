@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvv_analysis_test.dir/rvv_analysis_test.cpp.o"
+  "CMakeFiles/rvv_analysis_test.dir/rvv_analysis_test.cpp.o.d"
+  "rvv_analysis_test"
+  "rvv_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvv_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvv_interpreter_test.dir/rvv_interpreter_test.cpp.o"
+  "CMakeFiles/rvv_interpreter_test.dir/rvv_interpreter_test.cpp.o.d"
+  "rvv_interpreter_test"
+  "rvv_interpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvv_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

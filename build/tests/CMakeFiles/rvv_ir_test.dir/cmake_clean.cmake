@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvv_ir_test.dir/rvv_ir_test.cpp.o"
+  "CMakeFiles/rvv_ir_test.dir/rvv_ir_test.cpp.o.d"
+  "rvv_ir_test"
+  "rvv_ir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvv_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

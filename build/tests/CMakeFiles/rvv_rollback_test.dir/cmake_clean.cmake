@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvv_rollback_test.dir/rvv_rollback_test.cpp.o"
+  "CMakeFiles/rvv_rollback_test.dir/rvv_rollback_test.cpp.o.d"
+  "rvv_rollback_test"
+  "rvv_rollback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvv_rollback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
