@@ -1,16 +1,31 @@
 // suite_cli: a RAJAPerf-style command-line driver for the native suite.
 // Runs kernels for real on this machine and prints per-kernel timings,
-// checksums and per-class summaries.
+// checksums, outcomes and per-class summaries. Long campaigns survive
+// misbehaving kernels: with --keep-going every kernel ends in a typed
+// outcome (ok / failed / timed-out / skipped / corrupt-checksum) and the
+// run continues.
 //
 //   ./suite_cli [options]
-//     --group <name>       run one class (Algorithm, Apps, Basic, Lcals,
-//                          Polybench, Stream); default: all
-//     --kernel <name>      run one kernel (repeatable via comma list)
-//     --precision <p>      fp32 | fp64 | both (default both)
-//     --threads <n>        worker threads (default 1)
-//     --size-factor <f>    problem size multiplier (default 0.05)
-//     --rep-factor <f>     rep count multiplier (default 0.05)
-//     --csv <path>         also write a CSV
+//     --group <name>        run one class (Algorithm, Apps, Basic, Lcals,
+//                           Polybench, Stream); default: all
+//     --kernel <name>       run one kernel (repeatable via comma list)
+//     --precision <p>       fp32 | fp64 | both (default both)
+//     --threads <n>         worker threads (default 1)
+//     --size-factor <f>     problem size multiplier (default 0.05)
+//     --rep-factor <f>      rep count multiplier (default 0.05)
+//     --csv <path>          also write a CSV (includes status columns)
+//     --keep-going          record failures and continue
+//     --kernel-timeout <s>  per-kernel soft deadline, seconds (0 = off)
+//     --retries <n>         retry failing kernels up to n more times
+//     --backoff-ms <ms>     initial retry backoff (default 10, doubles)
+//     --quarantine <list>   comma list of kernels to skip
+//     --inject <plan>       fault plan, e.g. "MUL:throw,DOT:nan,
+//                           TRIAD:delay:250,COPY:throw:1" (see
+//                           docs/RESILIENCE.md for the grammar)
+//     --inject-seed <n>     seed for probabilistic fault specs
+//
+// Exit codes: 0 = all kernels ok (or skipped), 1 = completed with
+// partial failures, 2 = fatal error, 64 = usage error.
 #include <iostream>
 #include <map>
 #include <optional>
@@ -22,6 +37,7 @@
 #include "native/suite_runner.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace {
 
@@ -33,7 +49,10 @@ struct Options {
   std::vector<core::Precision> precisions{core::Precision::FP32,
                                           core::Precision::FP64};
   core::RunParams rp;
+  native::RunPolicy policy;
   std::optional<std::string> csv_path;
+  std::optional<resilience::FaultPlan> fault_plan;
+  unsigned inject_seed = 4242u;
 };
 
 std::optional<core::Group> parse_group(const std::string& s) {
@@ -41,6 +60,14 @@ std::optional<core::Group> parse_group(const std::string& s) {
     if (s == core::to_string(g)) return g;
   }
   return std::nullopt;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -55,14 +82,34 @@ Options parse_args(int argc, char** argv) {
       }
       return argv[++i];
     };
+    auto next_int = [&]() {
+      const auto v = next();
+      try {
+        std::size_t pos = 0;
+        const int x = std::stoi(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return x;
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad value '" + v + "' for " + arg);
+      }
+    };
+    auto next_double = [&]() {
+      const auto v = next();
+      try {
+        std::size_t pos = 0;
+        const double x = std::stod(v, &pos);
+        if (pos != v.size()) throw std::invalid_argument(v);
+        return x;
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad value '" + v + "' for " + arg);
+      }
+    };
     if (arg == "--group") {
       const auto v = next();
       opt.group = parse_group(v);
       if (!opt.group) throw std::invalid_argument("unknown group " + v);
     } else if (arg == "--kernel") {
-      std::stringstream ss(next());
-      std::string item;
-      while (std::getline(ss, item, ',')) opt.kernels.push_back(item);
+      for (auto& k : split_commas(next())) opt.kernels.push_back(k);
     } else if (arg == "--precision") {
       const auto v = next();
       if (v == "fp32") {
@@ -73,13 +120,29 @@ Options parse_args(int argc, char** argv) {
         throw std::invalid_argument("unknown precision " + v);
       }
     } else if (arg == "--threads") {
-      opt.rp.num_threads = std::stoi(next());
+      opt.rp.num_threads = next_int();
     } else if (arg == "--size-factor") {
-      opt.rp.size_factor = std::stod(next());
+      opt.rp.size_factor = next_double();
     } else if (arg == "--rep-factor") {
-      opt.rp.rep_factor = std::stod(next());
+      opt.rp.rep_factor = next_double();
     } else if (arg == "--csv") {
       opt.csv_path = next();
+    } else if (arg == "--keep-going") {
+      opt.policy.keep_going = true;
+    } else if (arg == "--kernel-timeout") {
+      opt.policy.kernel_timeout_s = next_double();
+    } else if (arg == "--retries") {
+      opt.policy.retry.max_attempts = 1 + next_int();
+    } else if (arg == "--backoff-ms") {
+      opt.policy.retry.backoff_initial_ms = next_double();
+    } else if (arg == "--quarantine") {
+      for (auto& k : split_commas(next())) {
+        opt.policy.quarantine.push_back(k);
+      }
+    } else if (arg == "--inject") {
+      opt.fault_plan = resilience::FaultPlan::parse(next());
+    } else if (arg == "--inject-seed") {
+      opt.inject_seed = static_cast<unsigned>(next_int());
     } else {
       throw std::invalid_argument("unknown option " + arg);
     }
@@ -108,36 +171,64 @@ int main(int argc, char** argv) {
     names = registry.names();
   }
 
-  native::SuiteRunner runner(registry, opt.rp);
-  report::Table t(
-      {"kernel", "class", "precision", "reps", "ms/rep", "checksum"});
+  std::optional<resilience::FaultInjector> injector;
+  if (opt.fault_plan) {
+    injector.emplace(*opt.fault_plan, opt.inject_seed);
+    opt.policy.injector = &*injector;
+  }
+
+  std::optional<native::SuiteRunner> runner;
+  try {
+    runner.emplace(registry, opt.rp, opt.policy);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  report::Table t({"kernel", "class", "precision", "reps", "ms/rep",
+                   "checksum", "status"});
   report::CsvWriter csv({"kernel", "class", "precision", "threads", "reps",
-                         "seconds", "checksum"});
+                         "seconds", "checksum", "status", "attempts",
+                         "error"});
   std::map<core::Group, std::pair<double, int>> class_time;
+  std::map<resilience::Outcome, int> outcome_count;
 
   for (const auto& name : names) {
     for (const auto prec : opt.precisions) {
       native::KernelRunRecord rec;
       try {
-        rec = runner.run_one(name, prec);
-      } catch (const std::out_of_range&) {
-        std::cerr << "unknown kernel '" << name << "'\n";
-        return 1;
+        rec = runner->run_one(name, prec);
+      } catch (const std::out_of_range& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      } catch (const std::exception& e) {
+        // Strict mode: the first kernel failure is fatal.
+        std::cerr << "error: kernel '" << name << "' ("
+                  << core::to_string(prec) << ") failed: " << e.what()
+                  << "\n";
+        return 2;
       }
+      ++outcome_count[rec.outcome];
       t.add_row({rec.name, std::string(core::to_string(rec.group)),
                  std::string(core::to_string(prec)),
                  std::to_string(rec.reps),
-                 report::Table::num(rec.seconds_per_rep() * 1e3, 3),
-                 report::Table::num(static_cast<double>(rec.checksum), 4)});
+                 report::Table::num_or(rec.seconds_per_rep() * 1e3, 3,
+                                       rec.ok()),
+                 report::Table::num_or(static_cast<double>(rec.checksum), 4,
+                                       rec.ok()),
+                 std::string(resilience::to_string(rec.outcome))});
       csv.add_row({rec.name, std::string(core::to_string(rec.group)),
                    std::string(core::to_string(prec)),
                    std::to_string(rec.threads), std::to_string(rec.reps),
-                   report::Table::num(rec.seconds, 6),
-                   report::Table::num(static_cast<double>(rec.checksum),
-                                      6)});
-      auto& [sum, n] = class_time[rec.group];
-      sum += rec.seconds;
-      ++n;
+                   report::Table::num_or(rec.seconds, 6, rec.ok()),
+                   report::Table::num_or(static_cast<double>(rec.checksum),
+                                         6, rec.ok()),
+                   std::string(resilience::to_string(rec.outcome)),
+                   std::to_string(rec.attempts), rec.error});
+      if (rec.ok()) {
+        auto& [sum, n] = class_time[rec.group];
+        sum += rec.seconds;
+        ++n;
+      }
     }
   }
   std::cout << t.render() << "\n";
@@ -150,6 +241,28 @@ int main(int argc, char** argv) {
   }
   std::cout << summary.render();
 
-  if (opt.csv_path) csv.write(*opt.csv_path);
-  return 0;
+  int failures = 0;
+  for (const auto& [o, n] : outcome_count) {
+    if (resilience::is_failure(o)) failures += n;
+  }
+  if (failures > 0 || outcome_count[resilience::Outcome::Skipped] > 0) {
+    report::Table outcomes({"outcome", "count"});
+    for (const auto& [o, n] : outcome_count) {
+      if (n > 0) {
+        outcomes.add_row({std::string(resilience::to_string(o)),
+                          std::to_string(n)});
+      }
+    }
+    std::cout << "\n" << outcomes.render();
+  }
+
+  if (opt.csv_path) {
+    try {
+      csv.write(*opt.csv_path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  return failures > 0 ? 1 : 0;
 }

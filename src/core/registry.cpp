@@ -1,8 +1,36 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 namespace sgp::core {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
 
 const Registry::Entry* Registry::find(std::string_view name) const noexcept {
   for (const auto& e : entries_) {
@@ -30,10 +58,27 @@ void Registry::add(std::string name, Group group, KernelFactory factory) {
 std::unique_ptr<KernelBase> Registry::create(std::string_view name) const {
   const Entry* e = find(name);
   if (e == nullptr) {
-    throw std::out_of_range("Registry::create: unknown kernel " +
-                            std::string(name));
+    std::string msg =
+        "Registry::create: unknown kernel '" + std::string(name) + "'";
+    const std::string hint = closest(name);
+    if (!hint.empty()) msg += "; did you mean '" + hint + "'?";
+    throw std::out_of_range(msg);
   }
   return e->factory();
+}
+
+std::string Registry::closest(std::string_view name) const {
+  const std::string needle = lower(name);
+  std::string best;
+  std::size_t best_dist = std::max<std::size_t>(2, needle.size() / 2) + 1;
+  for (const auto& e : entries_) {
+    const std::size_t d = edit_distance(needle, lower(e.name));
+    if (d < best_dist) {
+      best_dist = d;
+      best = e.name;
+    }
+  }
+  return best;
 }
 
 bool Registry::contains(std::string_view name) const noexcept {

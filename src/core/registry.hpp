@@ -22,10 +22,15 @@ class Registry {
   /// or a factory whose kernel reports a different name/group.
   void add(std::string name, Group group, KernelFactory factory);
 
-  /// Creates a kernel by name; throws std::out_of_range if unknown.
+  /// Creates a kernel by name; throws std::out_of_range if unknown,
+  /// with a closest-match suggestion when one is plausibly close.
   std::unique_ptr<KernelBase> create(std::string_view name) const;
 
   bool contains(std::string_view name) const noexcept;
+
+  /// Closest registered name by case-insensitive edit distance, or ""
+  /// when nothing is plausibly close (distance > max(2, len/2)).
+  std::string closest(std::string_view name) const;
 
   /// All kernel names in registration order (the suite's canonical order).
   std::vector<std::string> names() const;

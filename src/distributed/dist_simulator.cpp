@@ -49,7 +49,9 @@ DistributedBreakdown DistributedSimulator::run(
   out.comm = comm_pattern_for(sig);
 
   const auto node_bd = node_sim_.run(share, node_cfg);
-  out.compute_s = node_bd.total_s;
+  // Bulk-synchronous execution: every step waits for the slowest node,
+  // so degraded/straggler nodes stretch the whole compute phase.
+  out.compute_s = node_bd.total_s * cluster_.effective_slowdown();
 
   // Per-rep communication volume.
   const double elem_bytes =

@@ -13,6 +13,10 @@ double NetworkDescriptor::pt2pt_seconds(double bytes) const {
 }
 
 void NetworkDescriptor::validate() const {
+  if (!std::isfinite(latency_us) || !std::isfinite(bandwidth_gbs) ||
+      !std::isfinite(injection_us)) {
+    throw std::invalid_argument(name + ": non-finite network parameter");
+  }
   if (latency_us <= 0.0 || bandwidth_gbs <= 0.0 || injection_us < 0.0) {
     throw std::invalid_argument(name + ": non-positive network parameter");
   }
@@ -45,11 +49,29 @@ NetworkDescriptor infiniband_hdr() {
   return n;
 }
 
+double ClusterDescriptor::effective_slowdown() const {
+  double s = straggler_factor;
+  if (degraded_nodes > 0 && degraded_factor > s) s = degraded_factor;
+  return s;
+}
+
 void ClusterDescriptor::validate() const {
   node.validate();
   network.validate();
   if (num_nodes < 1) {
     throw std::invalid_argument("ClusterDescriptor: num_nodes < 1");
+  }
+  if (degraded_nodes < 0 || degraded_nodes > num_nodes) {
+    throw std::invalid_argument(
+        "ClusterDescriptor: degraded_nodes must be in [0, num_nodes]");
+  }
+  if (!std::isfinite(degraded_factor) || degraded_factor < 1.0) {
+    throw std::invalid_argument(
+        "ClusterDescriptor: degraded_factor must be finite and >= 1");
+  }
+  if (!std::isfinite(straggler_factor) || straggler_factor < 1.0) {
+    throw std::invalid_argument(
+        "ClusterDescriptor: straggler_factor must be finite and >= 1");
   }
 }
 

@@ -32,10 +32,26 @@ NetworkDescriptor ethernet_25g();        ///< PCIe Gen4 25 GbE NIC
 NetworkDescriptor infiniband_hdr();      ///< HDR100 via the x16 slot
 
 /// A cluster: identical nodes, one NIC each, full bisection assumed.
+/// Partial-failure what-ifs are priced through the degradation knobs:
+/// the suite runs bulk-synchronously, so the slowest node gates every
+/// step and the cluster runs at the worst per-node slowdown.
 struct ClusterDescriptor {
   machine::MachineDescriptor node;
   NetworkDescriptor network;
   int num_nodes = 1;
+
+  /// Nodes running below par (thermal throttling, failed DIMM, ...).
+  int degraded_nodes = 0;
+  /// Slowdown multiplier (>= 1) applied to each degraded node.
+  double degraded_factor = 1.0;
+  /// Slowdown of the single slowest node (>= 1); models one straggler
+  /// independent of systematic degradation.
+  double straggler_factor = 1.0;
+
+  /// Multiplier the bulk-synchronous step time inherits from the
+  /// slowest participant: max of the straggler and (if any node is
+  /// degraded) the degradation factor. 1.0 for a healthy cluster.
+  double effective_slowdown() const;
 
   void validate() const;
 };

@@ -103,6 +103,31 @@ struct Parser {
     }
   }
 
+  /// Integer-valued key with range checking: a fuzzer can supply
+  /// "1e300", which would be UB to cast to int, so reject it instead.
+  int int_num(const std::string& section, const std::string& key) const {
+    const double v = num(section, key);
+    // The negated in-range comparison also rejects NaN (casting NaN or
+    // an out-of-range double to int is UB).
+    if (!(v >= -2147483647.0 && v <= 2147483647.0) ||
+        v != static_cast<double>(static_cast<int>(v))) {
+      throw std::invalid_argument("value of " + key + " in [" + section +
+                                  "] is not a representable integer");
+    }
+    return static_cast<int>(v);
+  }
+
+  /// Non-negative size in KiB, bounded so the byte count fits size_t.
+  std::size_t size_kb(const std::string& section,
+                      const std::string& key) const {
+    const double v = num(section, key);
+    if (!(v >= 0.0 && v <= 1e12)) {
+      throw std::invalid_argument("value of " + key + " in [" + section +
+                                  "] is out of range");
+    }
+    return static_cast<std::size_t>(v);
+  }
+
   double num_or(const std::string& section, const std::string& key,
                 double fallback) const {
     const auto sit = sections.find(section);
@@ -127,10 +152,9 @@ struct Parser {
 
 CacheSpec parse_cache(const Parser& p, const std::string& section) {
   CacheSpec c;
-  c.size_bytes =
-      static_cast<std::size_t>(p.num(section, "size_kb")) * 1024;
-  c.line_bytes = static_cast<int>(p.num(section, "line_bytes"));
-  c.shared_by = static_cast<int>(p.num(section, "shared_by"));
+  c.size_bytes = p.size_kb(section, "size_kb") * 1024;
+  c.line_bytes = p.int_num(section, "line_bytes");
+  c.shared_by = p.int_num(section, "shared_by");
   c.bw_bytes_per_cycle = p.num(section, "bw_bytes_per_cycle");
   c.latency_cycles = p.num(section, "latency_cycles");
   return c;
@@ -209,21 +233,23 @@ MachineDescriptor from_ini(std::string_view text) {
   const Parser p(text);
   MachineDescriptor m;
   m.name = p.get("machine", "name");
-  m.num_cores = static_cast<int>(p.num("machine", "num_cores"));
-  const int cluster_width =
-      static_cast<int>(p.num_or("machine", "cluster_width", 1));
+  m.num_cores = p.int_num("machine", "num_cores");
+  const int cluster_width = p.has("machine") &&
+                                  p.sections.at("machine").count("cluster_width")
+                              ? p.int_num("machine", "cluster_width")
+                              : 1;
   if (cluster_width < 1) {
     throw std::invalid_argument("cluster_width must be >= 1");
   }
 
   CoreSpec c;
   c.clock_ghz = p.num("core", "clock_ghz");
-  c.decode_width = static_cast<int>(p.num("core", "decode_width"));
-  c.issue_width = static_cast<int>(p.num("core", "issue_width"));
+  c.decode_width = p.int_num("core", "decode_width");
+  c.issue_width = p.int_num("core", "issue_width");
   c.out_of_order = p.flag("core", "out_of_order", false);
-  c.fp_pipes = static_cast<int>(p.num("core", "fp_pipes"));
+  c.fp_pipes = p.int_num("core", "fp_pipes");
   c.fma = p.flag("core", "fma", true);
-  c.mem_ports = static_cast<int>(p.num("core", "mem_ports"));
+  c.mem_ports = p.int_num("core", "mem_ports");
   c.scalar_eff = p.num("core", "scalar_eff");
   c.stream_bw_gbs = p.num("core", "stream_bw_gbs");
   c.scalar_stream_derate =
@@ -231,7 +257,7 @@ MachineDescriptor from_ini(std::string_view text) {
   if (p.has("vector")) {
     VectorUnit v;
     v.isa = p.get("vector", "isa");
-    v.width_bits = static_cast<int>(p.num("vector", "width_bits"));
+    v.width_bits = p.int_num("vector", "width_bits");
     v.fp32 = p.flag("vector", "fp32", true);
     v.fp64 = p.flag("vector", "fp64", true);
     v.efficiency_fp32 = p.num("vector", "efficiency_fp32");
@@ -249,9 +275,17 @@ MachineDescriptor from_ini(std::string_view text) {
     std::stringstream ss(p.get(section, "cores"));
     std::string item;
     while (std::getline(ss, item, ',')) {
-      r.cores.push_back(std::stoi(trim(item)));
+      const std::string id = trim(item);
+      try {
+        std::size_t used = 0;
+        r.cores.push_back(std::stoi(id, &used));
+        if (used != id.size()) throw std::invalid_argument(id);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad core id '" + id + "' in [" +
+                                    section + "]");
+      }
     }
-    r.controllers = static_cast<int>(p.num(section, "controllers"));
+    r.controllers = p.int_num(section, "controllers");
     r.mem_bw_gbs = p.num(section, "mem_bw_gbs");
     m.numa.push_back(std::move(r));
   }

@@ -1,6 +1,7 @@
 #include "report/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -24,6 +25,12 @@ std::string Table::num(double v, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
+}
+
+std::string Table::num_or(double v, int decimals, bool ok,
+                          const std::string& fallback) {
+  if (!ok || !std::isfinite(v)) return fallback;
+  return num(v, decimals);
 }
 
 std::string Table::render() const {

@@ -1,0 +1,160 @@
+#include "resilience/fault_injector.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace sgp::resilience {
+
+namespace {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(text.substr(pos));
+      break;
+    }
+    out.emplace_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+double parse_number(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("FaultPlan: bad ") + what +
+                                " '" + text + "'");
+  }
+}
+
+int parse_triggers(const std::string& text) {
+  const double v = parse_number(text, "trigger count");
+  const int n = static_cast<int>(v);
+  if (v != n || n < 1) {
+    throw std::invalid_argument("FaultPlan: trigger count must be a "
+                                "positive integer, got '" + text + "'");
+  }
+  return n;
+}
+
+}  // namespace
+
+void FaultPlan::add(FaultSpec spec) {
+  if (spec.kernel.empty()) {
+    throw std::invalid_argument("FaultPlan: empty kernel name");
+  }
+  if (spec.kind == FaultKind::None) {
+    throw std::invalid_argument("FaultPlan: spec for '" + spec.kernel +
+                                "' has no fault kind");
+  }
+  if (spec.kind == FaultKind::Delay && spec.delay_ms <= 0.0) {
+    throw std::invalid_argument("FaultPlan: delay for '" + spec.kernel +
+                                "' must be > 0 ms");
+  }
+  if (spec.probability <= 0.0 || spec.probability > 1.0) {
+    throw std::invalid_argument("FaultPlan: probability for '" +
+                                spec.kernel + "' must be in (0, 1]");
+  }
+  if (spec.max_triggers == 0 || spec.max_triggers < -1) {
+    throw std::invalid_argument("FaultPlan: max_triggers for '" +
+                                spec.kernel + "' must be -1 or >= 1");
+  }
+  specs_.push_back(std::move(spec));
+}
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  for (const auto& entry : split(text, ',')) {
+    if (entry.empty()) continue;
+    const auto fields = split(entry, ':');
+    if (fields.size() < 2) {
+      throw std::invalid_argument("FaultPlan: expected 'kernel:kind', got '" +
+                                  entry + "'");
+    }
+    FaultSpec spec;
+    spec.kernel = fields[0];
+
+    // The kind token may carry an '@probability' suffix.
+    std::string kind = fields[1];
+    const auto at = kind.find('@');
+    if (at != std::string::npos) {
+      spec.probability = parse_number(kind.substr(at + 1), "probability");
+      kind = kind.substr(0, at);
+    }
+
+    std::size_t next_field = 2;
+    if (kind == "throw") {
+      spec.kind = FaultKind::Throw;
+    } else if (kind == "nan") {
+      spec.kind = FaultKind::CorruptChecksum;
+    } else if (kind == "delay") {
+      spec.kind = FaultKind::Delay;
+      if (fields.size() < 3) {
+        throw std::invalid_argument(
+            "FaultPlan: delay needs milliseconds, e.g. '" + spec.kernel +
+            ":delay:250'");
+      }
+      spec.delay_ms = parse_number(fields[2], "delay");
+      next_field = 3;
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown fault kind '" + kind +
+                                  "' (throw | nan | delay)");
+    }
+    if (fields.size() > next_field + 1) {
+      throw std::invalid_argument("FaultPlan: trailing fields in '" + entry +
+                                  "'");
+    }
+    if (fields.size() == next_field + 1) {
+      spec.max_triggers = parse_triggers(fields[next_field]);
+    }
+    plan.add(std::move(spec));
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, unsigned seed) {
+  for (auto& spec : plan.specs()) {
+    State st;
+    st.spec = spec;
+    st.remaining = spec.max_triggers;
+    // Per-kernel stream: the same plan + seed always faults the same
+    // attempts regardless of suite order or other kernels' draws.
+    st.rng.seed(seed ^ static_cast<unsigned>(
+                           std::hash<std::string>{}(spec.kernel)));
+    states_.push_back(std::move(st));
+  }
+}
+
+ArmedFault FaultInjector::arm(std::string_view kernel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& st : states_) {
+    if (st.spec.kernel != kernel && st.spec.kernel != "*") continue;
+    if (st.remaining == 0) continue;
+    if (st.spec.probability < 1.0) {
+      std::bernoulli_distribution fire(st.spec.probability);
+      if (!fire(st.rng)) continue;
+    }
+    if (st.remaining > 0) --st.remaining;
+    ++st.armed;
+    return ArmedFault{st.spec.kind, st.spec.delay_ms};
+  }
+  return ArmedFault{};
+}
+
+int FaultInjector::armed_count(std::string_view kernel) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  int n = 0;
+  for (const auto& st : states_) {
+    if (st.spec.kernel == kernel || st.spec.kernel == "*") n += st.armed;
+  }
+  return n;
+}
+
+}  // namespace sgp::resilience

@@ -1,0 +1,87 @@
+// Execution guards: a watchdog-backed soft deadline and an Executor
+// decorator that applies injected faults and cooperative cancellation
+// inside kernel chunks — so faults surface on real worker threads and
+// deadline checks happen at every chunk boundary without kernels
+// knowing about either.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "core/executor.hpp"
+#include "resilience/fault_injector.hpp"
+
+namespace sgp::resilience {
+
+/// Raised by the guard when an armed FaultKind::Throw fires.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised at a chunk boundary once the soft deadline has passed.
+struct DeadlineExceeded : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One-way cancellation flag shared between a watchdog and executors.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Watchdog thread: cancels `token` when `deadline` passes. Destroying
+/// the watchdog disarms it (if the deadline has not fired) and joins.
+/// The deadline is *soft*: running chunks are never killed, they observe
+/// the token at their next boundary.
+class Watchdog {
+ public:
+  Watchdog(std::chrono::steady_clock::time_point deadline,
+           CancelToken& token);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+/// Executor decorator for one kernel attempt. Before running each chunk
+/// it (a) applies the armed fault exactly once per attempt — sleeping
+/// for Delay, throwing InjectedFault for Throw — and (b) throws
+/// DeadlineExceeded if the cancel token has fired. Checks run on the
+/// worker threads of the wrapped executor, so a throwing chunk also
+/// exercises the pool's exception propagation path.
+class GuardedExecutor final : public core::Executor {
+ public:
+  GuardedExecutor(core::Executor& inner, const CancelToken* cancel,
+                  ArmedFault fault, std::string kernel);
+
+  int max_chunks() const override { return inner_.max_chunks(); }
+  void parallel_for(std::size_t n, const ChunkFn& fn) override;
+
+ private:
+  void check_deadline() const;
+
+  core::Executor& inner_;
+  const CancelToken* cancel_;  ///< optional; nullptr = no deadline
+  ArmedFault fault_;
+  std::string kernel_;
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace sgp::resilience

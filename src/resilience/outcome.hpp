@@ -1,0 +1,39 @@
+// Typed per-kernel run outcomes. A resilient suite run never loses a
+// kernel silently: every kernel ends in exactly one of these states and
+// the record carries the error detail alongside.
+#pragma once
+
+#include <string_view>
+
+namespace sgp::resilience {
+
+/// Terminal state of one kernel's (possibly retried) execution.
+enum class Outcome {
+  Ok,               ///< ran to completion with a finite checksum
+  Failed,           ///< an exception escaped the kernel body
+  TimedOut,         ///< the per-kernel soft deadline expired
+  Skipped,          ///< quarantined; never attempted
+  CorruptChecksum,  ///< completed but the checksum is NaN/Inf
+};
+
+constexpr std::string_view to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Ok:              return "ok";
+    case Outcome::Failed:          return "failed";
+    case Outcome::TimedOut:        return "timed-out";
+    case Outcome::Skipped:         return "skipped";
+    case Outcome::CorruptChecksum: return "corrupt-checksum";
+  }
+  return "?";
+}
+
+/// True for outcomes that count against the run (Skipped is deliberate).
+constexpr bool is_failure(Outcome o) noexcept {
+  return o == Outcome::Failed || o == Outcome::TimedOut ||
+         o == Outcome::CorruptChecksum;
+}
+
+/// Retrying only makes sense for states a later attempt could improve.
+constexpr bool is_retryable(Outcome o) noexcept { return is_failure(o); }
+
+}  // namespace sgp::resilience

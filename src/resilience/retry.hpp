@@ -1,0 +1,29 @@
+// Bounded retry with exponential backoff for transient kernel faults.
+#pragma once
+
+namespace sgp::resilience {
+
+/// Governs how many times a failing kernel is re-attempted and how long
+/// the runner pauses between attempts. max_attempts == 1 disables retry.
+struct RetryPolicy {
+  int max_attempts = 1;             ///< total attempts (first + retries)
+  double backoff_initial_ms = 10.0; ///< pause before the first retry
+  double backoff_multiplier = 2.0;  ///< growth per subsequent retry
+  double backoff_max_ms = 2000.0;   ///< cap on any single pause
+
+  /// Pause before retry number `retry` (1-based: 1 follows the first
+  /// failed attempt). Exponential with a hard cap; 0 when out of range.
+  double backoff_ms(int retry) const {
+    if (retry < 1 || max_attempts <= 1) return 0.0;
+    double d = backoff_initial_ms;
+    for (int i = 1; i < retry; ++i) d *= backoff_multiplier;
+    return d > backoff_max_ms ? backoff_max_ms : d;
+  }
+
+  bool enabled() const { return max_attempts > 1; }
+
+  /// Throws std::invalid_argument on nonsensical parameters.
+  void validate() const;
+};
+
+}  // namespace sgp::resilience

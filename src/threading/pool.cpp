@@ -38,6 +38,18 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::run_chunk(const ChunkFn& fn, std::size_t n, int id) {
+  const auto [b, e] = chunk_range(n, nthreads_, id);
+  if (b >= e || abort_.load(std::memory_order_acquire)) return;
+  try {
+    fn(b, e, id);
+  } catch (...) {
+    abort_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
 void ThreadPool::worker(int id) {
   std::uint64_t seen = 0;
   for (;;) {
@@ -51,8 +63,7 @@ void ThreadPool::worker(int id) {
       job = job_;
       n = job_n_;
     }
-    const auto [b, e] = chunk_range(n, nthreads_, id);
-    if (b < e) (*job)(b, e, id);
+    run_chunk(*job, n, id);
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (--remaining_ == 0) cv_done_.notify_all();
@@ -70,10 +81,11 @@ void ThreadPool::parallel_for_dynamic(std::size_t n, std::size_t grain,
     return;
   }
   // Wrap the user functor in a work-stealing loop; each invocation of
-  // the wrapper (one per worker) drains the shared counter.
+  // the wrapper (one per worker) drains the shared counter. Once any
+  // grain throws (abort_ set by run_chunk), the others stop pulling.
   std::atomic<std::size_t> next{0};
   const ChunkFn wrapper = [&](std::size_t, std::size_t, int worker) {
-    for (;;) {
+    while (!abort_.load(std::memory_order_acquire)) {
       const std::size_t begin =
           next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) break;
@@ -97,15 +109,22 @@ void ThreadPool::parallel_for(std::size_t n, const ChunkFn& fn) {
     job_ = &fn;
     job_n_ = n;
     remaining_ = nthreads_ - 1;
+    first_error_ = nullptr;
+    abort_.store(false, std::memory_order_relaxed);
     ++epoch_;
   }
   cv_work_.notify_all();
   // The calling thread is chunk 0.
-  const auto [b, e] = chunk_range(n, nthreads_, 0);
-  if (b < e) fn(b, e, 0);
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return remaining_ == 0; });
-  job_ = nullptr;
+  run_chunk(fn, n, 0);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+    err = std::exchange(first_error_, nullptr);
+  }
+  abort_.store(false, std::memory_order_relaxed);
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace sgp::threading

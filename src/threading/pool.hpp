@@ -4,8 +4,10 @@
 // reduction partials indexed by chunk id are deterministic.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -26,6 +28,11 @@ class ThreadPool final : public core::Executor {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int max_chunks() const override { return nthreads_; }
+
+  /// Exception-safe: if a chunk throws, the first exception is captured,
+  /// chunks that have not started yet are skipped (cooperative cancel),
+  /// the join still completes, and the exception is rethrown here on the
+  /// calling thread. The pool remains usable afterwards.
   void parallel_for(std::size_t n, const ChunkFn& fn) override;
 
   /// Dynamically scheduled variant (OpenMP "schedule(dynamic, grain)"):
@@ -33,7 +40,8 @@ class ThreadPool final : public core::Executor {
   /// irregular per-iteration costs; the chunk index passed to `fn` is
   /// the *worker* id (still < max_chunks()), so reduction arrays keyed
   /// by chunk id keep working — but chunk-to-range mapping is
-  /// nondeterministic.
+  /// nondeterministic. Same exception contract as parallel_for; on a
+  /// throw, other workers stop pulling new grains.
   void parallel_for_dynamic(std::size_t n, std::size_t grain,
                             const ChunkFn& fn);
 
@@ -43,6 +51,9 @@ class ThreadPool final : public core::Executor {
 
  private:
   void worker(int id);
+  /// Runs one chunk, capturing its exception as the job's first error
+  /// and requesting cooperative cancellation of the remaining chunks.
+  void run_chunk(const ChunkFn& fn, std::size_t n, int id);
 
   const int nthreads_;
   std::vector<std::thread> workers_;
@@ -55,6 +66,8 @@ class ThreadPool final : public core::Executor {
   std::uint64_t epoch_ = 0;
   int remaining_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;   ///< guarded by mu_
+  std::atomic<bool> abort_{false};   ///< a chunk threw; skip unstarted ones
 };
 
 }  // namespace sgp::threading

@@ -3,6 +3,8 @@
 // cluster simulator.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "distributed/dist_simulator.hpp"
 #include "kernels/register_all.hpp"
 
@@ -62,6 +64,93 @@ TEST(Network, ValidateRejectsNonsense) {
   n = infiniband_hdr();
   n.bandwidth_gbs = -1.0;
   EXPECT_THROW(n.validate(), std::invalid_argument);
+}
+
+TEST(Network, ValidateRejectsEveryDegenerateParameter) {
+  auto broken = [](auto&& mutate) {
+    auto n = infiniband_hdr();
+    mutate(n);
+    EXPECT_THROW(n.validate(), std::invalid_argument) << n.name;
+  };
+  broken([](NetworkDescriptor& n) { n.latency_us = -0.5; });
+  broken([](NetworkDescriptor& n) { n.bandwidth_gbs = 0.0; });
+  broken([](NetworkDescriptor& n) { n.injection_us = -1.0; });
+  broken([](NetworkDescriptor& n) {
+    n.latency_us = std::numeric_limits<double>::quiet_NaN();
+  });
+  broken([](NetworkDescriptor& n) {
+    n.bandwidth_gbs = std::numeric_limits<double>::infinity();
+  });
+}
+
+TEST(Collectives, RejectNonsenseNodeCounts) {
+  const auto net = infiniband_hdr();
+  EXPECT_THROW((void)allreduce_seconds(net, 64, 0), std::invalid_argument);
+  EXPECT_THROW((void)allreduce_seconds(net, 64, -3),
+               std::invalid_argument);
+  EXPECT_THROW((void)halo_exchange_seconds(net, 64, -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)barrier_seconds(net, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------- degraded-node pricing --
+TEST(ClusterDescriptor, ValidatesDegradationKnobs) {
+  auto broken = [](auto&& mutate) {
+    ClusterDescriptor c;
+    c.node = machine::sg2042();
+    c.network = infiniband_hdr();
+    c.num_nodes = 4;
+    mutate(c);
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  };
+  broken([](ClusterDescriptor& c) { c.degraded_nodes = -1; });
+  broken([](ClusterDescriptor& c) { c.degraded_nodes = 5; });  // > nodes
+  broken([](ClusterDescriptor& c) { c.degraded_factor = 0.9; });
+  broken([](ClusterDescriptor& c) { c.straggler_factor = 0.0; });
+  broken([](ClusterDescriptor& c) {
+    c.straggler_factor = std::numeric_limits<double>::quiet_NaN();
+  });
+}
+
+TEST(ClusterDescriptor, EffectiveSlowdownIsWorstParticipant) {
+  ClusterDescriptor c = make_cluster(8);
+  EXPECT_DOUBLE_EQ(c.effective_slowdown(), 1.0);
+  c.straggler_factor = 1.3;
+  EXPECT_DOUBLE_EQ(c.effective_slowdown(), 1.3);
+  c.degraded_nodes = 2;
+  c.degraded_factor = 2.0;
+  EXPECT_DOUBLE_EQ(c.effective_slowdown(), 2.0);
+  c.degraded_nodes = 0;  // knob set but no node degraded: ignored
+  EXPECT_DOUBLE_EQ(c.effective_slowdown(), 1.3);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(DistributedSimulator, StragglerStretchesBulkSynchronousSteps) {
+  const auto sig = find_sig("JACOBI_2D");
+  auto healthy = make_cluster(8);
+  auto limping = make_cluster(8);
+  limping.straggler_factor = 1.5;
+  const auto a = DistributedSimulator(healthy).run(sig, node_cfg());
+  const auto b = DistributedSimulator(limping).run(sig, node_cfg());
+  EXPECT_NEAR(b.compute_s, 1.5 * a.compute_s, 1e-12 * a.compute_s);
+  EXPECT_DOUBLE_EQ(b.comm_s, a.comm_s);  // wire time is unchanged
+  EXPECT_GT(b.total_s, a.total_s);
+}
+
+TEST(DistributedSimulator, DegradedClusterPricesPartialFailure) {
+  // What-if: a 16-node campaign where four nodes thermally throttle to
+  // half speed costs ~2x on compute — the what-if benches can now price
+  // exactly this.
+  const auto sig = find_sig("HEAT_3D");
+  auto degraded = make_cluster(16);
+  degraded.degraded_nodes = 4;
+  degraded.degraded_factor = 2.0;
+  const auto healthy_t =
+      DistributedSimulator(make_cluster(16)).run(sig, node_cfg());
+  const auto degraded_t =
+      DistributedSimulator(degraded).run(sig, node_cfg());
+  EXPECT_NEAR(degraded_t.compute_s, 2.0 * healthy_t.compute_s,
+              1e-12 * healthy_t.compute_s);
 }
 
 // -------------------------------------------------------- collectives --

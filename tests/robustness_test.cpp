@@ -6,6 +6,7 @@
 #include <string>
 
 #include "kernels/register_all.hpp"
+#include "machine/serialize.hpp"
 #include "rvv/rollback.hpp"
 #include "sim/simulator.hpp"
 
@@ -107,6 +108,72 @@ TEST(ParserRobustness, VeryLongProgram) {
   const auto p = rvv::parse(text);
   EXPECT_EQ(p.instruction_count(), 20000u);
   EXPECT_EQ(p.vector_instruction_count(), 20000u);
+}
+
+// -------------------------------------------- machine INI robustness --
+// Mirrors the RVV parser fuzzing above: arbitrary text fed to
+// machine::from_ini must either parse or throw std::invalid_argument —
+// never crash, never UB-cast garbage into the descriptor.
+TEST(MachineIniRobustness, RandomTextParsesOrThrowsCleanly) {
+  std::mt19937 rng(20260805);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .,=[]#_-e\n\t";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len(0, 600);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) text += alphabet[pick(rng)];
+    try {
+      (void)machine::from_ini(text);
+    } catch (const std::invalid_argument&) {
+      // acceptable — and the only acceptable exception type
+    }
+  }
+}
+
+TEST(MachineIniRobustness, MutatedValidDescriptorsNeverCrash) {
+  const std::string base = machine::to_ini(machine::sg2042());
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> ch(32, 126);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = base;
+    // Flip three characters, as the RVV rollback fuzzer does.
+    for (int k = 0; k < 3; ++k) {
+      text[pos(rng)] = static_cast<char>(ch(rng));
+    }
+    try {
+      const auto m = machine::from_ini(text);
+      // If it parsed, it must also re-serialise and re-parse.
+      (void)machine::from_ini(machine::to_ini(m));
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(MachineIniRobustness, ExtremeNumbersAreRejectedNotCast) {
+  std::string text = machine::to_ini(machine::sg2042());
+  // A value far outside int range must throw, not UB-cast.
+  const auto at = text.find("num_cores = 64");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 14, "num_cores = 1e300");
+  EXPECT_THROW((void)machine::from_ini(text), std::invalid_argument);
+}
+
+TEST(MachineIniRobustness, RoundTripIsAFixedPoint) {
+  // to_ini(from_ini(to_ini(m))) == to_ini(m) for every preset: the text
+  // form loses nothing the parser reads back.
+  const machine::MachineDescriptor presets[] = {
+      machine::sg2042(),          machine::visionfive_v1(),
+      machine::visionfive_v2(),   machine::amd_rome(),
+      machine::intel_broadwell(), machine::intel_icelake(),
+      machine::intel_sandybridge()};
+  for (const auto& m : presets) {
+    const std::string once = machine::to_ini(m);
+    const std::string twice = machine::to_ini(machine::from_ini(once));
+    EXPECT_EQ(once, twice) << m.name;
+  }
 }
 
 // ------------------------------------------------- registry integrity --

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
@@ -207,6 +208,93 @@ TEST(ThreadPoolDynamic, EmptyRange) {
   pool.parallel_for_dynamic(0, 8,
                             [&](std::size_t, std::size_t, int) { ++calls; });
   EXPECT_EQ(calls, 0);
+}
+
+// ------------------------------------------------- exception handling --
+// A throwing chunk used to escape a worker thread and terminate the
+// process; it must now surface on the calling thread.
+TEST(ThreadPoolExceptions, StaticThrowSurfacesOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::size_t b, std::size_t, int) {
+                          if (b > 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolExceptions, DynamicThrowSurfacesOnCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> grains{0};
+  try {
+    pool.parallel_for_dynamic(10000, 10,
+                              [&](std::size_t, std::size_t, int) {
+                                if (grains.fetch_add(1) == 3) {
+                                  throw std::runtime_error("boom");
+                                }
+                              });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Cooperative cancel: workers stop pulling grains after the throw, so
+  // far fewer than the 1000 grains should have run.
+  EXPECT_LT(grains.load(), 1000);
+}
+
+TEST(ThreadPoolExceptions, CallerChunkThrowIsAlsoCaught) {
+  ThreadPool pool(4);
+  // Chunk 0 runs on the calling thread; its exception must take the
+  // same capture path and not corrupt the pool state.
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::size_t b, std::size_t, int) {
+                          if (b == 0) throw std::invalid_argument("c0");
+                        }),
+      std::invalid_argument);
+}
+
+TEST(ThreadPoolExceptions, FirstExceptionWinsWhenAllChunksThrow) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(1000, [](std::size_t, std::size_t, int) {
+      throw std::runtime_error("each chunk throws");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "each chunk throws");
+  }
+}
+
+TEST(ThreadPoolExceptions, PoolIsReusableAfterAThrow) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [](std::size_t, std::size_t, int) {
+                                     throw std::logic_error("x");
+                                   }),
+                 std::logic_error);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e, int) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolExceptions, SingleThreadPropagatesDirectly) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t, std::size_t, int) {
+                                   throw std::runtime_error("serial");
+                                 }),
+               std::runtime_error);
+  EXPECT_THROW(pool.parallel_for_dynamic(
+                   10, 2,
+                   [](std::size_t, std::size_t, int) {
+                     throw std::runtime_error("serial dynamic");
+                   }),
+               std::runtime_error);
 }
 
 }  // namespace
