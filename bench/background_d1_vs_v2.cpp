@@ -11,6 +11,9 @@
 int main(int argc, char** argv) {
   using namespace sgp;
 
+  const auto opt = bench::parse_bench_args(argc, argv);
+  auto& eng = bench::configure_engine(opt);
+
   const auto v2 = machine::visionfive_v2();
   const auto d1 = machine::allwinner_d1();
 
@@ -27,13 +30,11 @@ int main(int argc, char** argv) {
 
   // The U74 has no vector unit, so its "vector" build is scalar anyway.
   const auto u74 = experiments::kernel_times(
-      v2, cfg(core::VectorMode::VLS, core::CompilerId::Gcc));
-  const auto c906_scalar =
-      experiments::kernel_times(
-      d1, cfg(core::VectorMode::Scalar, core::CompilerId::Gcc));
-  const auto c906_vector =
-      experiments::kernel_times(
-      d1, cfg(core::VectorMode::VLS, core::CompilerId::Clang));
+      v2, cfg(core::VectorMode::VLS, core::CompilerId::Gcc), eng);
+  const auto c906_scalar = experiments::kernel_times(
+      d1, cfg(core::VectorMode::Scalar, core::CompilerId::Gcc), eng);
+  const auto c906_vector = experiments::kernel_times(
+      d1, cfg(core::VectorMode::VLS, core::CompilerId::Clang), eng);
 
   int scalar_u74_wins = 0, vector_c906_wins = 0, total = 0;
   double scalar_sum = 0.0, vector_sum = 0.0;
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
   std::cout << "Paper: the U74 wins scalar; with RVV enabled the C906 "
                "most often wins.\n";
 
-  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+  if (opt.csv_dir) {
     report::CsvWriter csv({"kernel", "u74_s", "c906_scalar_s",
                            "c906_vector_s"});
     for (const auto& [name, t_u74] : u74) {
@@ -69,7 +70,8 @@ int main(int argc, char** argv) {
                    report::Table::num(c906_scalar.at(name), 6),
                    report::Table::num(c906_vector.at(name), 6)});
     }
-    csv.write(*dir + "/background_d1.csv");
+    csv.write(*opt.csv_dir + "/background_d1.csv");
   }
+  if (opt.perf) bench::print_perf(std::cout, eng.counters());
   return 0;
 }

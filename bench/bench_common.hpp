@@ -1,32 +1,103 @@
-// Shared printing/CSV helpers for the reproduction binaries.
+// Shared CLI parsing and printing/CSV helpers for the reproduction
+// binaries. Every binary accepts:
+//   --csv <dir>   also write CSV artifacts into <dir>
+//   --jobs <n>    sweep-engine worker threads (0 = one per hw thread)
+//   --perf        print the engine's perf counters after the pipeline
+// Unknown or incomplete flags are usage errors (exit 64, matching
+// suite_cli's conventions) instead of being silently ignored.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "experiments/experiments.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 
 namespace sgp::bench {
 
-/// Parses "--csv <dir>" from argv; returns the directory if present.
-inline std::optional<std::string> csv_dir(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--csv") return std::string(argv[i + 1]);
+struct BenchOptions {
+  std::optional<std::string> csv_dir;
+  int jobs = 0;  ///< 0 = one worker per hardware thread
+  bool perf = false;
+};
+
+/// Strict argv parser for the flags above. Prints a usage message and
+/// exits with code 64 on an unknown flag, a flag missing its value, or
+/// a malformed number.
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opt;
+  auto usage_error = [&](const std::string& what) {
+    std::cerr << argv[0] << ": " << what << "\n"
+              << "usage: " << argv[0]
+              << " [--csv <dir>] [--jobs <n>] [--perf]\n";
+    std::exit(64);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      opt.csv_dir = value();
+    } else if (arg == "--jobs") {
+      const std::string v = value();
+      try {
+        std::size_t used = 0;
+        opt.jobs = std::stoi(v, &used);
+        if (used != v.size() || opt.jobs < 0) throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        usage_error("bad value '" + v + "' for --jobs (expected n >= 0)");
+      }
+    } else if (arg == "--perf") {
+      opt.perf = true;
+    } else {
+      usage_error("unknown flag '" + arg + "'");
+    }
   }
-  return std::nullopt;
+  return opt;
+}
+
+/// Applies --jobs to the process-wide engine the pipelines run on, and
+/// returns it so --perf can read the counters afterwards.
+inline engine::SweepEngine& configure_engine(const BenchOptions& opt) {
+  engine::SweepEngine& eng = engine::shared_engine();
+  if (opt.jobs != 0) eng.set_jobs(opt.jobs);
+  return eng;
+}
+
+/// Prints the engine's perf counters (the --perf flag).
+inline void print_perf(std::ostream& out,
+                       const engine::EngineCounters& c) {
+  out << "== engine perf counters ==\n";
+  out << "requests:         " << c.requests << "\n";
+  out << "cache hits:       " << c.cache_hits << "\n";
+  out << "simulations run:  " << c.simulations << "\n";
+  out << "cache entries:    " << c.cache_entries << "\n";
+  out << "simulators built: " << c.simulators_built << "\n";
+  out << "batches:          " << c.batches << "\n";
+  if (!c.phases.empty()) {
+    report::Table t({"phase", "wall ms", "requests"});
+    for (const auto& p : c.phases) {
+      t.add_row({p.name, report::Table::num(p.wall_s * 1e3, 2),
+                 std::to_string(p.requests)});
+    }
+    out << t.render();
+  }
 }
 
 /// Prints a figure-style series set (one row per class, one column pair
 /// per series: mean and min..max whiskers, in the paper's encoding).
-inline void print_series(const std::string& title,
+inline void print_series(std::ostream& out, const std::string& title,
                          const std::vector<experiments::RatioSeries>& series) {
-  std::cout << "== " << title << " ==\n";
-  std::cout << "(encoding: 0 = same speed, +1 = 2x faster, -1 = 2x "
-               "slower than baseline)\n";
+  out << "== " << title << " ==\n";
+  out << "(encoding: 0 = same speed, +1 = 2x faster, -1 = 2x "
+         "slower than baseline)\n";
   std::vector<std::string> headers{"class"};
   for (const auto& s : series) {
     headers.push_back(s.label + " avg");
@@ -44,12 +115,17 @@ inline void print_series(const std::string& title,
     }
     t.add_row(std::move(row));
   }
-  std::cout << t.render() << "\n";
+  out << t.render() << "\n";
 }
 
-/// Writes a series set as CSV (long format).
-inline void write_series_csv(const std::string& path,
-                             const std::vector<experiments::RatioSeries>& s) {
+inline void print_series(const std::string& title,
+                         const std::vector<experiments::RatioSeries>& s) {
+  print_series(std::cout, title, s);
+}
+
+/// A series set as CSV (long format).
+inline report::CsvWriter series_csv(
+    const std::vector<experiments::RatioSeries>& s) {
   report::CsvWriter csv({"series", "class", "mean", "min", "max",
                          "kernels"});
   for (const auto& series : s) {
@@ -61,13 +137,18 @@ inline void write_series_csv(const std::string& path,
                    std::to_string(g.kernels)});
     }
   }
-  csv.write(path);
+  return csv;
+}
+
+inline void write_series_csv(const std::string& path,
+                             const std::vector<experiments::RatioSeries>& s) {
+  series_csv(s).write(path);
 }
 
 /// Prints a Tables 1-3 style scaling table.
-inline void print_scaling(const std::string& title,
+inline void print_scaling(std::ostream& out, const std::string& title,
                           const experiments::ScalingTable& table) {
-  std::cout << "== " << title << " ==\n";
+  out << "== " << title << " ==\n";
   std::vector<std::string> headers{"Threads"};
   for (const auto g : core::all_groups) {
     headers.push_back(std::string(core::to_string(g)) + " SU");
@@ -84,11 +165,16 @@ inline void print_scaling(const std::string& title,
     }
     t.add_row(std::move(row));
   }
-  std::cout << t.render() << "\n";
+  out << t.render() << "\n";
 }
 
-inline void write_scaling_csv(const std::string& path,
-                              const experiments::ScalingTable& table) {
+inline void print_scaling(const std::string& title,
+                          const experiments::ScalingTable& table) {
+  print_scaling(std::cout, title, table);
+}
+
+/// A Tables 1-3 style scaling table as CSV.
+inline report::CsvWriter scaling_csv(const experiments::ScalingTable& table) {
   report::CsvWriter csv({"placement", "threads", "class", "speedup",
                          "parallel_efficiency"});
   for (std::size_t i = 0; i < table.thread_counts.size(); ++i) {
@@ -101,7 +187,12 @@ inline void write_scaling_csv(const std::string& path,
                    report::Table::num(cell.parallel_efficiency, 3)});
     }
   }
-  csv.write(path);
+  return csv;
+}
+
+inline void write_scaling_csv(const std::string& path,
+                              const experiments::ScalingTable& table) {
+  scaling_csv(table).write(path);
 }
 
 }  // namespace sgp::bench

@@ -3,13 +3,16 @@
 #include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const auto series = sgp::experiments::figure1();
+  const auto opt = sgp::bench::parse_bench_args(argc, argv);
+  auto& eng = sgp::bench::configure_engine(opt);
+  const auto series = sgp::experiments::figure1(eng);
   sgp::bench::print_series(
       "Figure 1: single-core RISC-V comparison (baseline: VisionFive V2 "
       "FP64)",
       series);
-  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
-    sgp::bench::write_series_csv(*dir + "/fig1.csv", series);
+  if (opt.csv_dir) {
+    sgp::bench::write_series_csv(*opt.csv_dir + "/fig1.csv", series);
   }
+  if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;
 }

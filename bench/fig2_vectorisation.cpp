@@ -3,12 +3,15 @@
 #include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const auto series = sgp::experiments::figure2();
+  const auto opt = sgp::bench::parse_bench_args(argc, argv);
+  auto& eng = sgp::bench::configure_engine(opt);
+  const auto series = sgp::experiments::figure2(eng);
   sgp::bench::print_series(
       "Figure 2: C920 vectorisation on/off (baseline: scalar build)",
       series);
-  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
-    sgp::bench::write_series_csv(*dir + "/fig2.csv", series);
+  if (opt.csv_dir) {
+    sgp::bench::write_series_csv(*opt.csv_dir + "/fig2.csv", series);
   }
+  if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;
 }

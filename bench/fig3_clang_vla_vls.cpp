@@ -5,7 +5,9 @@
 #include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const auto rows = sgp::experiments::figure3();
+  const auto opt = sgp::bench::parse_bench_args(argc, argv);
+  auto& eng = sgp::bench::configure_engine(opt);
+  const auto rows = sgp::experiments::figure3(eng);
   std::cout << "== Figure 3: Clang VLA/VLS vs GCC, Polybench FP32, single "
                "C920 core ==\n";
   std::cout << "(encoding: 0 = same speed, +1 = Clang 2x faster, -1 = "
@@ -25,7 +27,7 @@ int main(int argc, char** argv) {
   }
   std::cout << t.render() << "\n";
 
-  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+  if (opt.csv_dir) {
     sgp::report::CsvWriter csv({"kernel", "clang_vla", "clang_vls",
                                 "gcc_vectorizes", "gcc_runtime_scalar",
                                 "clang_vectorizes", "paper_named"});
@@ -37,7 +39,8 @@ int main(int argc, char** argv) {
                    r.clang_vectorizes ? "1" : "0",
                    r.paper_named ? "1" : "0"});
     }
-    csv.write(*dir + "/fig3.csv");
+    csv.write(*opt.csv_dir + "/fig3.csv");
   }
+  if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;
 }

@@ -4,13 +4,16 @@
 #include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) {
+  const auto opt = sgp::bench::parse_bench_args(argc, argv);
+  auto& eng = sgp::bench::configure_engine(opt);
   const auto series = sgp::experiments::x86_comparison(
-      sgp::core::Precision::FP64, /*multithreaded=*/true);
+      sgp::core::Precision::FP64, /*multithreaded=*/true, eng);
   sgp::bench::print_series(
       "Figure 6: FP64 multithreaded x86 comparison (baseline: SG2042)",
       series);
-  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
-    sgp::bench::write_series_csv(*dir + "/fig6.csv", series);
+  if (opt.csv_dir) {
+    sgp::bench::write_series_csv(*opt.csv_dir + "/fig6.csv", series);
   }
+  if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;
 }

@@ -24,6 +24,11 @@ core::KernelSignature find_sig(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The distributed simulator sits above the node-level engine, so this
+  // binary only uses the shared flags; --jobs/--perf still apply to any
+  // engine-backed work in-process.
+  const auto opt = sgp::bench::parse_bench_args(argc, argv);
+  auto& eng = sgp::bench::configure_engine(opt);
   const distributed::NetworkDescriptor networks[] = {
       distributed::gigabit_ethernet(),
       distributed::ethernet_25g(),
@@ -40,7 +45,6 @@ int main(int argc, char** argv) {
                "(FP32, 32 threads/node, cluster placement) ==\n";
   std::cout << "Speedup relative to one node; PE = speedup / nodes.\n\n";
 
-  std::optional<std::string> csv = sgp::bench::csv_dir(argc, argv);
   report::CsvWriter csv_out(
       {"network", "kernel", "nodes", "speedup", "pe", "comm_fraction"});
 
@@ -85,7 +89,8 @@ int main(int argc, char** argv) {
     std::cout << t.render() << "\n";
   }
 
-  if (csv) csv_out.write(*csv + "/future_mpi.csv");
+  if (opt.csv_dir) csv_out.write(*opt.csv_dir + "/future_mpi.csv");
+  if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
 
   std::cout
       << "Reading: with the onboard Gigabit Ethernet, halo-bound kernels\n"

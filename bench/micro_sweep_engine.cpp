@@ -1,0 +1,302 @@
+// Microbenchmark + acceptance proof for the sweep engine.
+//
+// Runs the repo's full figure/table pipeline set — every pipeline
+// invocation the pre-engine consumers made in separate processes (the
+// fig1-7/tab1-3 binaries, background_d1_vs_v2, paper_deltas, and the
+// calibration/experiments regression tests) — twice in one process:
+//
+//   legacy pass : cache disabled + the pre-engine call graphs
+//                 (per-kernel best-thread search), replicating the
+//                 historical Simulator::run volume;
+//   engine pass : the ported pipelines on a fresh cached engine.
+//
+// It asserts the rendered outputs (tables + CSV text) are byte
+// identical between the passes, between a parallel and a forced-serial
+// engine, and between a first and a reuse (all-hits) run, then writes
+// the counters to BENCH_sweep.json. Exits 1 if any outputs differ or
+// the Simulator::run reduction is below 5x.
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace sgp;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+std::string render_fig3(const std::vector<experiments::Fig3Row>& rows) {
+  std::ostringstream out;
+  for (const auto& r : rows) {
+    out << r.kernel << ',' << report::Table::num(r.clang_vla, 4) << ','
+        << report::Table::num(r.clang_vls, 4) << ',' << r.gcc_vectorizes
+        << ',' << r.gcc_runtime_scalar << ',' << r.clang_vectorizes
+        << ',' << r.paper_named << '\n';
+  }
+  return out.str();
+}
+
+std::string render_times(const std::map<std::string, double>& times) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  for (const auto& [name, t] : times) out << name << ',' << t << '\n';
+  return out.str();
+}
+
+/// One in-process replay of the whole pre-engine consumer surface.
+/// `legacy_mode` swaps in the historical call graphs where they
+/// differed (multithreaded x86 comparison, best-thread search).
+std::string run_pipeline_set(engine::SweepEngine& eng, bool legacy_mode) {
+  experiments::reset_best_threads_memo();
+  std::ostringstream out;
+
+  auto series = [&](const std::string& title,
+                    const std::vector<experiments::RatioSeries>& s) {
+    bench::print_series(out, title, s);
+    out << bench::series_csv(s).text();
+  };
+  auto scaling = [&](const std::string& title,
+                     const experiments::ScalingTable& t) {
+    bench::print_scaling(out, title, t);
+    out << bench::scaling_csv(t).text();
+  };
+  auto x86 = [&](core::Precision prec, bool multi) {
+    return (legacy_mode && multi)
+               ? experiments::legacy::x86_comparison(prec, multi, eng)
+               : experiments::x86_comparison(prec, multi, eng);
+  };
+  auto best_threads = [&](core::Group g, core::Precision prec) {
+    return legacy_mode
+               ? experiments::legacy::best_sg2042_threads(g, prec, eng)
+               : experiments::best_sg2042_threads(g, prec, eng);
+  };
+
+  // fig1..fig7, tab1..tab3 binaries.
+  series("figure1", experiments::figure1(eng));
+  series("figure2", experiments::figure2(eng));
+  out << render_fig3(experiments::figure3(eng));
+  series("figure4", x86(core::Precision::FP64, false));
+  series("figure5", x86(core::Precision::FP32, false));
+  series("figure6", x86(core::Precision::FP64, true));
+  series("figure7", x86(core::Precision::FP32, true));
+  scaling("table1",
+          experiments::scaling_table(machine::Placement::Block, eng));
+  scaling("table2",
+          experiments::scaling_table(machine::Placement::CyclicNuma, eng));
+  scaling("table3", experiments::scaling_table(
+                        machine::Placement::ClusterCyclic, eng));
+
+  // background_d1_vs_v2: three whole-suite kernel_times sweeps.
+  {
+    const auto v2 = machine::visionfive_v2();
+    const auto d1 = machine::allwinner_d1();
+    auto cfg = [](core::VectorMode mode, core::CompilerId comp) {
+      sim::SimConfig c;
+      c.precision = core::Precision::FP32;
+      c.vector_mode = mode;
+      c.compiler = comp;
+      c.nthreads = 1;
+      return c;
+    };
+    out << render_times(experiments::kernel_times(
+        v2, cfg(core::VectorMode::VLS, core::CompilerId::Gcc), eng));
+    out << render_times(experiments::kernel_times(
+        d1, cfg(core::VectorMode::Scalar, core::CompilerId::Gcc), eng));
+    out << render_times(experiments::kernel_times(
+        d1, cfg(core::VectorMode::VLS, core::CompilerId::Clang), eng));
+  }
+
+  // paper_deltas: re-derives all three scaling tables.
+  scaling("deltas1",
+          experiments::scaling_table(machine::Placement::Block, eng));
+  scaling("deltas2",
+          experiments::scaling_table(machine::Placement::CyclicNuma, eng));
+  scaling("deltas3", experiments::scaling_table(
+                         machine::Placement::ClusterCyclic, eng));
+
+  // calibration_regression_test process.
+  series("cal_fig1", experiments::figure1(eng));
+  scaling("cal_block",
+          experiments::scaling_table(machine::Placement::Block, eng));
+  scaling("cal_cluster", experiments::scaling_table(
+                             machine::Placement::ClusterCyclic, eng));
+  series("cal_fig2", experiments::figure2(eng));
+  series("cal_x86", x86(core::Precision::FP64, false));
+  out << render_fig3(experiments::figure3(eng));
+
+  // experiments_test process.
+  series("exp_fig1", experiments::figure1(eng));
+  scaling("exp_t1",
+          experiments::scaling_table(machine::Placement::Block, eng));
+  scaling("exp_t2",
+          experiments::scaling_table(machine::Placement::CyclicNuma, eng));
+  scaling("exp_t3", experiments::scaling_table(
+                        machine::Placement::ClusterCyclic, eng));
+  series("exp_fig2", experiments::figure2(eng));
+  out << render_fig3(experiments::figure3(eng));
+  series("exp_fig4", x86(core::Precision::FP64, false));
+  series("exp_fig5", x86(core::Precision::FP32, false));
+  series("exp_fig6", x86(core::Precision::FP64, true));
+  series("exp_fig7", x86(core::Precision::FP32, true));
+  for (const auto prec : {core::Precision::FP32, core::Precision::FP64}) {
+    for (const auto g : core::all_groups) {
+      out << "best_threads," << core::to_string(g) << ','
+          << best_threads(g, prec) << '\n';
+    }
+  }
+
+  return out.str();
+}
+
+struct PassResult {
+  std::string output;
+  engine::EngineCounters counters;
+  double wall_s = 0.0;
+};
+
+PassResult run_pass(engine::SweepEngine& eng, bool legacy_mode) {
+  const auto t0 = std::chrono::steady_clock::now();
+  PassResult r;
+  r.output = run_pipeline_set(eng, legacy_mode);
+  r.wall_s = seconds_since(t0);
+  r.counters = eng.counters();
+  return r;
+}
+
+[[noreturn]] void usage_error(const char* prog, const std::string& what) {
+  std::cerr << prog << ": " << what << "\n"
+            << "usage: " << prog << " [--json <path>] [--jobs <n>]"
+            << " [--perf]\n";
+  std::exit(64);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sweep.json";
+  int jobs = 0;
+  bool perf = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(argv[0], "missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--jobs") {
+      const std::string v = value();
+      try {
+        std::size_t used = 0;
+        jobs = std::stoi(v, &used);
+        if (used != v.size() || jobs < 0) throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        usage_error(argv[0], "bad value '" + v + "' for --jobs");
+      }
+    } else if (arg == "--perf") {
+      perf = true;
+    } else {
+      usage_error(argv[0], "unknown flag '" + arg + "'");
+    }
+  }
+
+  std::cout << "== micro_sweep_engine: full figure/table pipeline set, "
+               "legacy vs engine ==\n";
+
+  // Legacy pass: cache off, pre-engine call graphs. This is the
+  // Simulator::run volume the consumer surface used to cost when every
+  // consumer was its own process (no sharing is possible without the
+  // cache, so running them back to back in one process is equivalent).
+  engine::SweepEngine legacy_eng({jobs, /*use_cache=*/false});
+  const auto legacy = run_pass(legacy_eng, /*legacy_mode=*/true);
+
+  // Engine pass: the ported pipelines on one fresh cached engine.
+  engine::SweepEngine eng({jobs, /*use_cache=*/true});
+  const auto first = run_pass(eng, /*legacy_mode=*/false);
+
+  // Reuse pass: same engine again — everything should be served from
+  // the cache (a second bench binary in the same process).
+  const auto reuse = run_pass(eng, /*legacy_mode=*/false);
+  const auto reuse_sims =
+      reuse.counters.simulations - first.counters.simulations;
+
+  // Forced-serial pass: determinism check for the parallel scheduler.
+  engine::SweepEngine serial_eng({/*jobs=*/1, /*use_cache=*/true});
+  const auto serial = run_pass(serial_eng, /*legacy_mode=*/false);
+
+  const bool legacy_identical = legacy.output == first.output;
+  const bool serial_identical = serial.output == first.output;
+  const bool reuse_identical = reuse.output == first.output;
+  const double ratio =
+      first.counters.simulations > 0
+          ? double(legacy.counters.simulations) /
+                double(first.counters.simulations)
+          : 0.0;
+  const bool pass = legacy_identical && serial_identical &&
+                    reuse_identical && reuse_sims == 0 && ratio >= 5.0;
+
+  report::Table t({"pass", "Simulator::run", "requests", "cache hits",
+                   "wall s"});
+  auto row = [&](const char* name, const PassResult& p,
+                 std::uint64_t sims_override, std::uint64_t hits) {
+    t.add_row({name, std::to_string(sims_override),
+               std::to_string(p.counters.requests),
+               std::to_string(hits),
+               report::Table::num(p.wall_s, 3)});
+  };
+  row("legacy (no cache)", legacy, legacy.counters.simulations,
+      legacy.counters.cache_hits);
+  row("engine (first)", first, first.counters.simulations,
+      first.counters.cache_hits);
+  row("engine (reuse)", reuse, reuse_sims,
+      reuse.counters.cache_hits - first.counters.cache_hits);
+  row("engine (serial)", serial, serial.counters.simulations,
+      serial.counters.cache_hits);
+  std::cout << t.render();
+  std::cout << "Simulator::run reduction: "
+            << report::Table::num(ratio, 2) << "x (need >= 5)\n";
+  std::cout << "outputs identical — legacy: "
+            << (legacy_identical ? "yes" : "NO")
+            << ", serial: " << (serial_identical ? "yes" : "NO")
+            << ", reuse: " << (reuse_identical ? "yes" : "NO") << "\n";
+  std::cout << (pass ? "PASS" : "FAIL") << "\n";
+
+  {
+    std::ofstream json(json_path);
+    json << std::setprecision(6) << std::boolalpha;
+    json << "{\n"
+         << "  \"bench\": \"micro_sweep_engine\",\n"
+         << "  \"jobs\": " << eng.jobs() << ",\n"
+         << "  \"legacy\": {\"simulations\": "
+         << legacy.counters.simulations
+         << ", \"requests\": " << legacy.counters.requests
+         << ", \"wall_s\": " << legacy.wall_s << "},\n"
+         << "  \"engine\": {\"simulations\": "
+         << first.counters.simulations
+         << ", \"requests\": " << first.counters.requests
+         << ", \"cache_hits\": " << first.counters.cache_hits
+         << ", \"cache_entries\": " << first.counters.cache_entries
+         << ", \"wall_s\": " << first.wall_s << "},\n"
+         << "  \"reuse\": {\"new_simulations\": " << reuse_sims
+         << ", \"wall_s\": " << reuse.wall_s << "},\n"
+         << "  \"serial\": {\"wall_s\": " << serial.wall_s << "},\n"
+         << "  \"simulation_reduction\": " << ratio << ",\n"
+         << "  \"outputs_identical\": {\"legacy_vs_engine\": "
+         << legacy_identical << ", \"parallel_vs_serial\": "
+         << serial_identical << ", \"first_vs_reuse\": " << reuse_identical
+         << "},\n"
+         << "  \"pass\": " << pass << "\n"
+         << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (perf) bench::print_perf(std::cout, first.counters);
+  return pass ? 0 : 1;
+}

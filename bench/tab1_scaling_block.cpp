@@ -3,12 +3,15 @@
 #include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) {
+  const auto opt = sgp::bench::parse_bench_args(argc, argv);
+  auto& eng = sgp::bench::configure_engine(opt);
   const auto table =
-      sgp::experiments::scaling_table(sgp::machine::Placement::Block);
+      sgp::experiments::scaling_table(sgp::machine::Placement::Block, eng);
   sgp::bench::print_scaling(
       "Table 1: SG2042 scaling, block thread placement (FP32)", table);
-  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
-    sgp::bench::write_scaling_csv(*dir + "/tab1.csv", table);
+  if (opt.csv_dir) {
+    sgp::bench::write_scaling_csv(*opt.csv_dir + "/tab1.csv", table);
   }
+  if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;
 }

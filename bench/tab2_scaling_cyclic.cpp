@@ -2,13 +2,16 @@
 #include "bench/bench_common.hpp"
 
 int main(int argc, char** argv) {
-  const auto table =
-      sgp::experiments::scaling_table(sgp::machine::Placement::CyclicNuma);
+  const auto opt = sgp::bench::parse_bench_args(argc, argv);
+  auto& eng = sgp::bench::configure_engine(opt);
+  const auto table = sgp::experiments::scaling_table(
+      sgp::machine::Placement::CyclicNuma, eng);
   sgp::bench::print_scaling(
       "Table 2: SG2042 scaling, NUMA-cyclic thread placement (FP32)",
       table);
-  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
-    sgp::bench::write_scaling_csv(*dir + "/tab2.csv", table);
+  if (opt.csv_dir) {
+    sgp::bench::write_scaling_csv(*opt.csv_dir + "/tab2.csv", table);
   }
+  if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;
 }

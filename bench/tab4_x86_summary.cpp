@@ -5,6 +5,8 @@
 #include "machine/descriptor.hpp"
 
 int main(int argc, char** argv) {
+  const auto opt = sgp::bench::parse_bench_args(argc, argv);
+  auto& eng = sgp::bench::configure_engine(opt);
   std::cout << "== Table 4: x86 CPUs used to compare against the SG2042 "
                "==\n";
   sgp::report::Table t(
@@ -21,7 +23,7 @@ int main(int argc, char** argv) {
   }
   std::cout << t.render() << "\n";
 
-  if (const auto dir = sgp::bench::csv_dir(argc, argv)) {
+  if (opt.csv_dir) {
     sgp::report::CsvWriter csv({"cpu", "clock_ghz", "cores", "vector_isa",
                                 "vector_bits", "fp64_vector",
                                 "numa_regions", "mem_bw_gbs"});
@@ -33,7 +35,8 @@ int main(int argc, char** argv) {
                    std::to_string(m.numa.size()),
                    sgp::report::Table::num(m.total_mem_bw_gbs(), 1)});
     }
-    csv.write(*dir + "/tab4.csv");
+    csv.write(*opt.csv_dir + "/tab4.csv");
   }
+  if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;
 }

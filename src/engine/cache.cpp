@@ -1,0 +1,64 @@
+#include "engine/cache.hpp"
+
+namespace sgp::engine {
+
+sim::TimeBreakdown SimCache::get_or_compute(
+    const CacheKey& key,
+    const std::function<sim::TimeBreakdown()>& compute) {
+  Shard& s = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  sim::TimeBreakdown value = compute();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    // If another thread raced us to the same key, keep its entry; the
+    // compute function is pure, so the values are identical anyway and
+    // "first insert wins" keeps the hit-equality contract trivially true.
+    const auto [it, inserted] = s.map.emplace(key, std::move(value));
+    return it->second;
+  }
+}
+
+std::optional<sim::TimeBreakdown> SimCache::find(const CacheKey& key) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void SimCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
+
+CacheStats SimCache::stats() const {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(s).mu);
+    out.entries += s.map.size();
+  }
+  return out;
+}
+
+void SimCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sgp::engine

@@ -1,0 +1,85 @@
+// Thread-safe, content-addressed memoization cache for simulator
+// results. Keys are fingerprint triples (see engine/fingerprint.hpp);
+// values are complete TimeBreakdowns, so a hit reproduces the original
+// miss exactly — including the `serving` level and `note` text.
+//
+// The cache is sharded: each shard holds an independent map behind its
+// own mutex, so concurrent lookups of different keys rarely contend.
+// Compute callbacks run *outside* the shard lock; if two threads race
+// on the same missing key, both compute (the function is pure, so the
+// values are identical) and the first insert wins.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+
+namespace sgp::engine {
+
+/// One evaluation point: (machine, kernel signature, SimConfig).
+struct CacheKey {
+  std::uint64_t machine = 0;
+  std::uint64_t signature = 0;
+  std::uint64_t config = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    // The components are already FNV digests; mix with distinct odd
+    // multipliers so (a,b,c) and (b,a,c) land apart.
+    std::uint64_t h = k.machine * 0x9e3779b97f4a7c15ull;
+    h ^= k.signature * 0xc2b2ae3d27d4eb4full;
+    h ^= k.config * 0x165667b19e3779f9ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+};
+
+class SimCache {
+ public:
+  /// Returns the cached breakdown for `key`, or runs `compute`, stores
+  /// the result and returns it. `compute` must be a pure function of
+  /// the key's preimage.
+  sim::TimeBreakdown get_or_compute(
+      const CacheKey& key,
+      const std::function<sim::TimeBreakdown()>& compute);
+
+  /// Lookup without side effects on the stored state (still counted in
+  /// the hit/miss statistics).
+  std::optional<sim::TimeBreakdown> find(const CacheKey& key);
+
+  void clear();
+  CacheStats stats() const;
+  void reset_stats();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<CacheKey, sim::TimeBreakdown, CacheKeyHash> map;
+  };
+
+  Shard& shard_of(const CacheKey& key) {
+    return shards_[CacheKeyHash{}(key) % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace sgp::engine

@@ -1,0 +1,179 @@
+#include "engine/engine.hpp"
+
+#include <utility>
+
+#include "threading/pool.hpp"
+
+namespace sgp::engine {
+
+SweepEngine::SweepEngine(EngineOptions opt)
+    : jobs_(threading::recommended_jobs(opt.jobs)),
+      use_cache_(opt.use_cache) {}
+
+SweepEngine::~SweepEngine() = default;
+
+void SweepEngine::set_jobs(int jobs) {
+  const int resolved = threading::recommended_jobs(jobs);
+  if (resolved == jobs_) return;
+  jobs_ = resolved;
+  pool_.reset();  // re-created lazily at the next batch
+}
+
+const sim::Simulator& SweepEngine::simulator_for(
+    const machine::MachineDescriptor& m, std::uint64_t machine_fp) {
+  std::lock_guard<std::mutex> lock(sims_mu_);
+  auto it = sims_.find(machine_fp);
+  if (it == sims_.end()) {
+    it = sims_.emplace(machine_fp, std::make_unique<sim::Simulator>(m))
+             .first;
+    simulators_built_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *it->second;
+}
+
+sim::TimeBreakdown SweepEngine::run_point(const SweepPoint& p) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t machine_fp = machine_fingerprint(*p.machine);
+  const sim::Simulator& simulator = simulator_for(*p.machine, machine_fp);
+  auto compute = [&] {
+    simulations_.fetch_add(1, std::memory_order_relaxed);
+    return simulator.run(*p.signature, p.config);
+  };
+  if (!use_cache_) return compute();
+  const CacheKey key{machine_fp, signature_fingerprint(*p.signature),
+                     config_fingerprint(p.config)};
+  return cache_.get_or_compute(key, compute);
+}
+
+sim::TimeBreakdown SweepEngine::run(const machine::MachineDescriptor& m,
+                                    const core::KernelSignature& sig,
+                                    const sim::SimConfig& cfg) {
+  return run_point(SweepPoint{&m, &sig, cfg});
+}
+
+std::vector<sim::TimeBreakdown> SweepEngine::run_batch(
+    std::span<const SweepPoint> points) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<sim::TimeBreakdown> results(points.size());
+  if (points.empty()) return results;
+  if (jobs_ == 1 || points.size() == 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      results[i] = run_point(points[i]);
+    }
+    return results;
+  }
+  if (!pool_) pool_ = std::make_unique<threading::ThreadPool>(jobs_);
+  // Grain 1: evaluation points have irregular cost (thread counts and
+  // working sets vary wildly across a grid), and one point is orders of
+  // magnitude more work than one counter fetch. Rethrows the first
+  // exception after the join; results are discarded in that case.
+  pool_->parallel_for_dynamic(
+      points.size(), 1,
+      [&](std::size_t begin, std::size_t end, int /*worker*/) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = run_point(points[i]);
+        }
+      });
+  return results;
+}
+
+std::vector<sim::TimeBreakdown> SweepEngine::run_grid(
+    const machine::MachineDescriptor& m,
+    std::span<const core::KernelSignature> sigs,
+    std::span<const sim::SimConfig> cfgs) {
+  std::vector<SweepPoint> points;
+  points.reserve(sigs.size() * cfgs.size());
+  for (const auto& cfg : cfgs) {
+    for (const auto& sig : sigs) {
+      points.push_back(SweepPoint{&m, &sig, cfg});
+    }
+  }
+  return run_batch(points);
+}
+
+// ------------------------------------------------------------ phases --
+
+SweepEngine::PhaseScope::PhaseScope(SweepEngine* eng, std::size_t index)
+    : eng_(eng),
+      index_(index),
+      start_(std::chrono::steady_clock::now()),
+      requests_at_start_(
+          eng->requests_.load(std::memory_order_relaxed)) {}
+
+SweepEngine::PhaseScope::PhaseScope(PhaseScope&& other) noexcept
+    : eng_(std::exchange(other.eng_, nullptr)),
+      index_(other.index_),
+      start_(other.start_),
+      requests_at_start_(other.requests_at_start_) {}
+
+SweepEngine::PhaseScope::~PhaseScope() {
+  if (!eng_) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  eng_->finish_phase(
+      index_, wall,
+      eng_->requests_.load(std::memory_order_relaxed) -
+          requests_at_start_);
+}
+
+SweepEngine::PhaseScope SweepEngine::phase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  auto it = phase_index_.find(name);
+  if (it == phase_index_.end()) {
+    it = phase_index_.emplace(name, phases_.size()).first;
+    phases_.push_back(PhaseStat{name, 0.0, 0});
+  }
+  return PhaseScope(this, it->second);
+}
+
+void SweepEngine::finish_phase(std::size_t index, double wall_s,
+                               std::uint64_t requests) {
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  phases_[index].wall_s += wall_s;
+  phases_[index].requests += requests;
+}
+
+// ---------------------------------------------------------- counters --
+
+EngineCounters SweepEngine::counters() const {
+  EngineCounters out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.simulations = simulations_.load(std::memory_order_relaxed);
+  out.simulators_built =
+      simulators_built_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  const CacheStats cs = cache_.stats();
+  out.cache_hits = cs.hits;
+  out.cache_entries = cs.entries;
+  {
+    std::lock_guard<std::mutex> lock(phases_mu_);
+    out.phases = phases_;
+  }
+  return out;
+}
+
+void SweepEngine::reset_counters() {
+  requests_.store(0, std::memory_order_relaxed);
+  simulations_.store(0, std::memory_order_relaxed);
+  simulators_built_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  cache_.reset_stats();
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  phases_.clear();
+  phase_index_.clear();
+}
+
+void SweepEngine::clear_cache() {
+  cache_.clear();
+  std::lock_guard<std::mutex> lock(sims_mu_);
+  sims_.clear();
+}
+
+SweepEngine& shared_engine() {
+  static SweepEngine* eng = new SweepEngine();  // never destroyed
+  return *eng;
+}
+
+}  // namespace sgp::engine

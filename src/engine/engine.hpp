@@ -1,0 +1,172 @@
+// The sweep/evaluation engine: a scheduling and caching layer over
+// sim::Simulator for the figure/table experiment pipelines.
+//
+// Responsibilities (the models stay untouched — results are bit
+// identical to direct Simulator::run calls):
+//   * memoize TimeBreakdowns in a thread-safe, content-addressed cache
+//     keyed by (machine fingerprint, signature fingerprint, SimConfig
+//     fingerprint) — see engine/fingerprint.hpp;
+//   * build each machine's Simulator once per engine, not once per
+//     pipeline;
+//   * fan batches of evaluation points out over a
+//     sgp::threading::ThreadPool with dynamic scheduling (grain 1:
+//     points have irregular cost). Batches fill a pre-sized result
+//     vector by index, so parallel output is exactly equal to a
+//     forced-serial run;
+//   * count everything (requests, hits, Simulator::run executions,
+//     simulators built, batches, wall time per named phase) for the
+//     bench binaries' --perf flag and BENCH_sweep.json.
+//
+// Exception contract (inherits PR 1's resilience rules): if any point
+// throws, unstarted points are skipped cooperatively, the batch joins,
+// and the first exception is rethrown on the calling thread; the engine
+// remains usable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/cache.hpp"
+#include "engine/fingerprint.hpp"
+
+namespace sgp::threading {
+class ThreadPool;
+}
+
+namespace sgp::engine {
+
+struct EngineOptions {
+  /// Worker threads for batches: 1 = forced serial, 0 = one per
+  /// hardware thread (threading::recommended_jobs).
+  int jobs = 0;
+  /// false replicates the pre-engine behaviour (every request runs the
+  /// simulator); used for A/B accounting in bench/micro_sweep_engine.
+  bool use_cache = true;
+};
+
+/// Wall time and request volume attributed to one named phase.
+struct PhaseStat {
+  std::string name;
+  double wall_s = 0.0;
+  std::uint64_t requests = 0;
+};
+
+struct EngineCounters {
+  std::uint64_t requests = 0;     ///< evaluation points asked for
+  std::uint64_t cache_hits = 0;   ///< served from the memo cache
+  std::uint64_t simulations = 0;  ///< actual Simulator::run executions
+  std::uint64_t simulators_built = 0;
+  std::uint64_t batches = 0;      ///< run_batch/run_grid calls
+  std::uint64_t cache_entries = 0;
+  std::vector<PhaseStat> phases;  ///< in first-use order
+};
+
+/// One evaluation point for run_batch. The machine and signature are
+/// borrowed; they must outlive the call.
+struct SweepPoint {
+  const machine::MachineDescriptor* machine = nullptr;
+  const core::KernelSignature* signature = nullptr;
+  sim::SimConfig config;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(EngineOptions opt = {});
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  /// Resolved worker count used for batches.
+  int jobs() const noexcept { return jobs_; }
+  /// Changes the worker count for subsequent batches. Not thread-safe
+  /// against in-flight batches; call between pipelines.
+  void set_jobs(int jobs);
+
+  /// Evaluate one point through the cache.
+  sim::TimeBreakdown run(const machine::MachineDescriptor& m,
+                         const core::KernelSignature& sig,
+                         const sim::SimConfig& cfg);
+
+  double seconds(const machine::MachineDescriptor& m,
+                 const core::KernelSignature& sig,
+                 const sim::SimConfig& cfg) {
+    return run(m, sig, cfg).total_s;
+  }
+
+  /// Evaluate a batch of points; results are positionally aligned with
+  /// `points` regardless of scheduling.
+  std::vector<sim::TimeBreakdown> run_batch(
+      std::span<const SweepPoint> points);
+
+  /// Cross-product convenience: machine x configs x signatures, results
+  /// row-major by config (result[c * sigs.size() + s]).
+  std::vector<sim::TimeBreakdown> run_grid(
+      const machine::MachineDescriptor& m,
+      std::span<const core::KernelSignature> sigs,
+      std::span<const sim::SimConfig> cfgs);
+
+  /// RAII wall-clock accumulator: `auto scope = eng.phase("figure1");`
+  /// attributes elapsed time and request volume until scope exit.
+  class PhaseScope {
+   public:
+    PhaseScope(PhaseScope&& other) noexcept;
+    ~PhaseScope();
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+    PhaseScope& operator=(PhaseScope&&) = delete;
+
+   private:
+    friend class SweepEngine;
+    PhaseScope(SweepEngine* eng, std::size_t index);
+    SweepEngine* eng_;
+    std::size_t index_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t requests_at_start_;
+  };
+
+  PhaseScope phase(const std::string& name);
+
+  EngineCounters counters() const;
+  void reset_counters();
+  /// Drops all memoized results and per-machine simulators. Not
+  /// thread-safe against in-flight batches.
+  void clear_cache();
+
+ private:
+  const sim::Simulator& simulator_for(const machine::MachineDescriptor& m,
+                                      std::uint64_t machine_fp);
+  sim::TimeBreakdown run_point(const SweepPoint& p);
+  void finish_phase(std::size_t index, double wall_s,
+                    std::uint64_t requests);
+
+  int jobs_;
+  const bool use_cache_;
+  SimCache cache_;
+
+  std::mutex sims_mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<sim::Simulator>> sims_;
+
+  std::unique_ptr<threading::ThreadPool> pool_;  ///< lazily created
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> simulations_{0};
+  std::atomic<std::uint64_t> simulators_built_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  mutable std::mutex phases_mu_;
+  std::vector<PhaseStat> phases_;
+  std::unordered_map<std::string, std::size_t> phase_index_;
+};
+
+/// The process-wide engine the convenience experiment overloads use, so
+/// every bench binary and test in one process shares one cache.
+SweepEngine& shared_engine();
+
+}  // namespace sgp::engine

@@ -1,0 +1,51 @@
+// Content-addressed fingerprints for the sweep engine's memoization
+// cache. A cache key is the triple of 64-bit FNV-1a fingerprints of the
+// machine descriptor, the kernel signature and the SimConfig; two
+// evaluation points with equal fingerprints are guaranteed (up to hash
+// collision, ~2^-64 per pair) to be the same pure-function input to
+// Simulator::run and therefore to produce bit-identical TimeBreakdowns.
+//
+// The machine fingerprint is built from the INI serialization
+// (machine::to_ini) *plus* a bit-exact encoding of every numeric field:
+// the INI text makes the fingerprint content-addressed in the same form
+// users feed to the tools, while the raw field bits catch differences
+// the 6-significant-digit INI formatting would flatten (e.g. two L1
+// sizes inside the same KiB).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/signature.hpp"
+#include "machine/descriptor.hpp"
+#include "sim/config.hpp"
+
+namespace sgp::engine {
+
+/// Incremental 64-bit FNV-1a hasher.
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t n) noexcept;
+  void str(std::string_view s) noexcept { bytes(s.data(), s.size()); }
+  void u64(std::uint64_t v) noexcept { bytes(&v, sizeof v); }
+  void i32(std::int32_t v) noexcept { bytes(&v, sizeof v); }
+  void f64(double v) noexcept;  ///< hashes the bit pattern
+  void flag(bool v) noexcept { u64(v ? 1u : 0u); }
+
+  std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;  // FNV offset basis
+};
+
+/// Fingerprint of everything Simulator::run reads from the descriptor.
+std::uint64_t machine_fingerprint(const machine::MachineDescriptor& m);
+
+/// Fingerprint of every field of a kernel signature (not just its name,
+/// so mutated copies of a registry signature key separately).
+std::uint64_t signature_fingerprint(const core::KernelSignature& sig);
+
+/// Fingerprint of a SimConfig.
+std::uint64_t config_fingerprint(const sim::SimConfig& cfg);
+
+}  // namespace sgp::engine

@@ -1,8 +1,12 @@
 #include "experiments/experiments.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
+#include "engine/engine.hpp"
 #include "kernels/register_all.hpp"
 #include "report/ratio.hpp"
 #include "sim/simulator.hpp"
@@ -13,6 +17,7 @@ using core::CompilerId;
 using core::Group;
 using core::Precision;
 using core::VectorMode;
+using engine::SweepEngine;
 using machine::Placement;
 using sim::SimConfig;
 
@@ -49,6 +54,92 @@ RatioSeries make_series(std::string label,
   return s;
 }
 
+/// SimConfig for best_sg2042_threads candidates (cluster placement).
+SimConfig best_threads_cfg(Precision prec, int n) {
+  SimConfig c;
+  c.precision = prec;
+  c.compiler = CompilerId::Gcc;
+  c.vector_mode = VectorMode::VLS;
+  c.nthreads = n;
+  c.placement = Placement::ClusterCyclic;
+  return c;
+}
+
+/// Unmemoized kernel of best_sg2042_threads: sums the class's times at
+/// each candidate thread count in suite order, exactly as the historic
+/// serial loop did, so the winner (including tie-breaks) is unchanged.
+int best_threads_uncached(Group g, Precision prec, SweepEngine& eng) {
+  const auto sg = machine::sg2042();
+  std::vector<core::KernelSignature> group_sigs;
+  for (const auto& sig : signatures()) {
+    if (sig.group == g) group_sigs.push_back(sig);
+  }
+  const SimConfig cfgs[] = {best_threads_cfg(prec, 32),
+                            best_threads_cfg(prec, 64)};
+  const auto times = eng.run_grid(sg, group_sigs, cfgs);
+  double best_time = 0.0;
+  int best_n = 32;
+  const int candidates[] = {32, 64};
+  for (std::size_t c = 0; c < 2; ++c) {
+    double total = 0.0;
+    for (std::size_t s = 0; s < group_sigs.size(); ++s) {
+      total += times[c * group_sigs.size() + s].total_s;
+    }
+    if (best_time == 0.0 || total < best_time) {
+      best_time = total;
+      best_n = candidates[c];
+    }
+  }
+  return best_n;
+}
+
+std::mutex best_threads_mu;
+std::map<std::pair<Group, Precision>, int> best_threads_memo;
+
+/// Shared body of the ported and legacy x86 comparisons: the baseline
+/// thread count per kernel is the only thing that differs.
+std::vector<RatioSeries> x86_comparison_impl(
+    Precision prec, bool multithreaded, SweepEngine& eng,
+    const std::function<int(Group)>& best_threads) {
+  const auto sg = machine::sg2042();
+
+  // SG2042 baseline: single core, or the most performant thread count
+  // per class with cluster placement (Section 3.2's best practice).
+  std::map<std::string, double> baseline;
+  {
+    SimConfig c;
+    c.precision = prec;
+    c.compiler = CompilerId::Gcc;
+    c.vector_mode = VectorMode::VLS;
+    c.placement = Placement::ClusterCyclic;
+    std::vector<engine::SweepPoint> points;
+    points.reserve(signatures().size());
+    for (const auto& sig : signatures()) {
+      c.nthreads = multithreaded ? best_threads(sig.group) : 1;
+      points.push_back(engine::SweepPoint{&sg, &sig, c});
+    }
+    const auto times = eng.run_batch(points);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      baseline[points[i].signature->name] = times[i].total_s;
+    }
+  }
+
+  std::vector<RatioSeries> out;
+  for (const auto& x86 : machine::x86_machines()) {
+    SimConfig c;
+    c.precision = prec;
+    c.compiler = CompilerId::Gcc;
+    c.vector_mode = VectorMode::VLS;
+    c.placement = Placement::Block;
+    c.nthreads = multithreaded ? x86.num_cores : 1;
+    // Ratio is t_SG2042 / t_x86: positive encoded = x86 faster, matching
+    // the paper's Figures 4-7 axes.
+    out.push_back(
+        make_series(x86.name, baseline, kernel_times(x86, c, eng)));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::map<std::string, core::Group> suite_groups() {
@@ -58,13 +149,20 @@ std::map<std::string, core::Group> suite_groups() {
 }
 
 std::map<std::string, double> kernel_times(
-    const machine::MachineDescriptor& m, const SimConfig& cfg) {
-  const sim::Simulator simulator(m);
+    const machine::MachineDescriptor& m, const SimConfig& cfg,
+    SweepEngine& eng) {
+  const SimConfig cfgs[] = {cfg};
+  const auto times = eng.run_grid(m, signatures(), cfgs);
   std::map<std::string, double> out;
-  for (const auto& sig : signatures()) {
-    out[sig.name] = simulator.seconds(sig, cfg);
+  for (std::size_t i = 0; i < signatures().size(); ++i) {
+    out[signatures()[i].name] = times[i].total_s;
   }
   return out;
+}
+
+std::map<std::string, double> kernel_times(
+    const machine::MachineDescriptor& m, const SimConfig& cfg) {
+  return kernel_times(m, cfg, engine::shared_engine());
 }
 
 std::vector<GroupRatios> summarize_by_group(
@@ -95,7 +193,8 @@ std::vector<GroupRatios> summarize_by_group(
   return out;
 }
 
-std::vector<RatioSeries> figure1() {
+std::vector<RatioSeries> figure1(SweepEngine& eng) {
+  const auto scope = eng.phase("figure1");
   // Single core, GCC, vectorisation enabled where the hardware has it
   // ("best possible configuration", per the paper).
   auto cfg = [](Precision p) {
@@ -112,25 +211,31 @@ std::vector<RatioSeries> figure1() {
   const auto v2 = machine::visionfive_v2();
   const auto sg = machine::sg2042();
 
-  const auto baseline = kernel_times(v2, cfg(Precision::FP64));
+  const auto baseline = kernel_times(v2, cfg(Precision::FP64), eng);
 
   std::vector<RatioSeries> out;
   out.push_back(make_series("VisionFive V1 FP64", baseline,
-                            kernel_times(v1, cfg(Precision::FP64))));
+                            kernel_times(v1, cfg(Precision::FP64), eng)));
   out.push_back(make_series("VisionFive V1 FP32", baseline,
-                            kernel_times(v1, cfg(Precision::FP32))));
+                            kernel_times(v1, cfg(Precision::FP32), eng)));
   out.push_back(make_series("VisionFive V2 FP32", baseline,
-                            kernel_times(v2, cfg(Precision::FP32))));
+                            kernel_times(v2, cfg(Precision::FP32), eng)));
   out.push_back(make_series("SG2042 FP64", baseline,
-                            kernel_times(sg, cfg(Precision::FP64))));
+                            kernel_times(sg, cfg(Precision::FP64), eng)));
   out.push_back(make_series("SG2042 FP32", baseline,
-                            kernel_times(sg, cfg(Precision::FP32))));
+                            kernel_times(sg, cfg(Precision::FP32), eng)));
   return out;
 }
 
-ScalingTable scaling_table(Placement placement) {
+std::vector<RatioSeries> figure1() {
+  return figure1(engine::shared_engine());
+}
+
+ScalingTable scaling_table(Placement placement, SweepEngine& eng) {
+  const auto scope = eng.phase(
+      std::string("scaling_table(") +
+      std::string(machine::to_string(placement)) + ")");
   const auto sg = machine::sg2042();
-  const sim::Simulator simulator(sg);
 
   auto cfg = [&](int threads) {
     SimConfig c;
@@ -146,20 +251,29 @@ ScalingTable scaling_table(Placement placement) {
   table.placement = placement;
   table.thread_counts = {2, 4, 8, 16, 32, 64};
 
-  // Serial baseline per kernel.
+  // One grid: the serial baseline plus every scaled thread count.
+  std::vector<SimConfig> cfgs;
+  cfgs.push_back(cfg(1));
+  for (const int n : table.thread_counts) cfgs.push_back(cfg(n));
+  const auto times = eng.run_grid(sg, signatures(), cfgs);
+  const std::size_t nsigs = signatures().size();
+
+  // Serial baseline per kernel (grid row 0).
   std::map<std::string, double> t1;
-  for (const auto& sig : signatures()) {
-    t1[sig.name] = simulator.seconds(sig, cfg(1));
+  for (std::size_t s = 0; s < nsigs; ++s) {
+    t1[signatures()[s].name] = times[s].total_s;
   }
 
   for (const Group g : core::all_groups) {
     table.cells[g] = {};
   }
-  for (const int n : table.thread_counts) {
+  for (std::size_t row = 0; row < table.thread_counts.size(); ++row) {
+    const int n = table.thread_counts[row];
     // Class speedup = arithmetic mean of per-kernel speedups.
     std::map<Group, std::vector<double>> per_group;
-    for (const auto& sig : signatures()) {
-      const double tn = simulator.seconds(sig, cfg(n));
+    for (std::size_t s = 0; s < nsigs; ++s) {
+      const auto& sig = signatures()[s];
+      const double tn = times[(row + 1) * nsigs + s].total_s;
       per_group[sig.group].push_back(t1[sig.name] / tn);
     }
     for (const Group g : core::all_groups) {
@@ -175,7 +289,12 @@ ScalingTable scaling_table(Placement placement) {
   return table;
 }
 
-std::vector<RatioSeries> figure2() {
+ScalingTable scaling_table(Placement placement) {
+  return scaling_table(placement, engine::shared_engine());
+}
+
+std::vector<RatioSeries> figure2(SweepEngine& eng) {
+  const auto scope = eng.phase("figure2");
   const auto sg = machine::sg2042();
 
   auto cfg = [](Precision p, VectorMode m) {
@@ -189,8 +308,8 @@ std::vector<RatioSeries> figure2() {
 
   std::vector<RatioSeries> out;
   for (const Precision p : {Precision::FP32, Precision::FP64}) {
-    const auto scalar = kernel_times(sg, cfg(p, VectorMode::Scalar));
-    const auto vector = kernel_times(sg, cfg(p, VectorMode::VLS));
+    const auto scalar = kernel_times(sg, cfg(p, VectorMode::Scalar), eng);
+    const auto vector = kernel_times(sg, cfg(p, VectorMode::VLS), eng);
     out.push_back(make_series(
         std::string("vectorised ") + std::string(core::to_string(p)) +
             " vs scalar",
@@ -199,9 +318,13 @@ std::vector<RatioSeries> figure2() {
   return out;
 }
 
-std::vector<Fig3Row> figure3() {
+std::vector<RatioSeries> figure2() {
+  return figure2(engine::shared_engine());
+}
+
+std::vector<Fig3Row> figure3(SweepEngine& eng) {
+  const auto scope = eng.phase("figure3");
   const auto sg = machine::sg2042();
-  const sim::Simulator simulator(sg);
 
   auto cfg = [](CompilerId comp, VectorMode mode) {
     SimConfig c;
@@ -216,15 +339,21 @@ std::vector<Fig3Row> figure3() {
       "2MM",    "3MM",       "GEMM",      "FLOYD_WARSHALL",
       "HEAT_3D", "JACOBI_1D", "JACOBI_2D"};
 
-  std::vector<Fig3Row> out;
+  std::vector<core::KernelSignature> poly;
   for (const auto& sig : signatures()) {
-    if (sig.group != Group::Polybench) continue;
-    const double t_gcc =
-        simulator.seconds(sig, cfg(CompilerId::Gcc, VectorMode::VLS));
-    const double t_vla =
-        simulator.seconds(sig, cfg(CompilerId::Clang, VectorMode::VLA));
-    const double t_vls =
-        simulator.seconds(sig, cfg(CompilerId::Clang, VectorMode::VLS));
+    if (sig.group == Group::Polybench) poly.push_back(sig);
+  }
+  const SimConfig cfgs[] = {cfg(CompilerId::Gcc, VectorMode::VLS),
+                            cfg(CompilerId::Clang, VectorMode::VLA),
+                            cfg(CompilerId::Clang, VectorMode::VLS)};
+  const auto times = eng.run_grid(sg, poly, cfgs);
+
+  std::vector<Fig3Row> out;
+  for (std::size_t s = 0; s < poly.size(); ++s) {
+    const auto& sig = poly[s];
+    const double t_gcc = times[0 * poly.size() + s].total_s;
+    const double t_vla = times[1 * poly.size() + s].total_s;
+    const double t_vls = times[2 * poly.size() + s].total_s;
     Fig3Row row;
     row.kernel = sig.name;
     row.clang_vla = report::encode_ratio(t_gcc / t_vla);
@@ -241,68 +370,66 @@ std::vector<Fig3Row> figure3() {
   return out;
 }
 
-int best_sg2042_threads(Group g, Precision prec) {
-  const auto sg = machine::sg2042();
-  const sim::Simulator simulator(sg);
-  auto cfg = [&](int n) {
-    SimConfig c;
-    c.precision = prec;
-    c.compiler = CompilerId::Gcc;
-    c.vector_mode = VectorMode::VLS;
-    c.nthreads = n;
-    c.placement = Placement::ClusterCyclic;
-    return c;
-  };
-  double best_time = 0.0;
-  int best_n = 32;
-  for (const int n : {32, 64}) {
-    double total = 0.0;
-    for (const auto& sig : signatures()) {
-      if (sig.group != g) continue;
-      total += simulator.seconds(sig, cfg(n));
-    }
-    if (best_time == 0.0 || total < best_time) {
-      best_time = total;
-      best_n = n;
-    }
-  }
-  return best_n;
+std::vector<Fig3Row> figure3() {
+  return figure3(engine::shared_engine());
 }
 
-std::vector<RatioSeries> x86_comparison(Precision prec, bool multithreaded) {
-  const auto sg = machine::sg2042();
-  const sim::Simulator sg_sim(sg);
-
-  // SG2042 baseline: single core, or the most performant thread count
-  // per class with cluster placement (Section 3.2's best practice).
-  std::map<std::string, double> baseline;
+int best_sg2042_threads(Group g, Precision prec, SweepEngine& eng) {
   {
-    SimConfig c;
-    c.precision = prec;
-    c.compiler = CompilerId::Gcc;
-    c.vector_mode = VectorMode::VLS;
-    c.placement = Placement::ClusterCyclic;
-    for (const auto& sig : signatures()) {
-      c.nthreads =
-          multithreaded ? best_sg2042_threads(sig.group, prec) : 1;
-      baseline[sig.name] = sg_sim.seconds(sig, c);
-    }
+    std::lock_guard<std::mutex> lock(best_threads_mu);
+    const auto it = best_threads_memo.find({g, prec});
+    if (it != best_threads_memo.end()) return it->second;
   }
-
-  std::vector<RatioSeries> out;
-  for (const auto& x86 : machine::x86_machines()) {
-    SimConfig c;
-    c.precision = prec;
-    c.compiler = CompilerId::Gcc;
-    c.vector_mode = VectorMode::VLS;
-    c.placement = Placement::Block;
-    c.nthreads = multithreaded ? x86.num_cores : 1;
-    // Ratio is t_SG2042 / t_x86: positive encoded = x86 faster, matching
-    // the paper's Figures 4-7 axes.
-    out.push_back(
-        make_series(x86.name, baseline, kernel_times(x86, c)));
-  }
-  return out;
+  const int best = best_threads_uncached(g, prec, eng);
+  std::lock_guard<std::mutex> lock(best_threads_mu);
+  best_threads_memo.emplace(std::make_pair(g, prec), best);
+  return best;
 }
+
+int best_sg2042_threads(Group g, Precision prec) {
+  return best_sg2042_threads(g, prec, engine::shared_engine());
+}
+
+void reset_best_threads_memo() {
+  std::lock_guard<std::mutex> lock(best_threads_mu);
+  best_threads_memo.clear();
+}
+
+std::vector<RatioSeries> x86_comparison(Precision prec, bool multithreaded,
+                                        SweepEngine& eng) {
+  const auto scope = eng.phase(
+      std::string("x86_comparison(") +
+      std::string(core::to_string(prec)) +
+      (multithreaded ? ",multi)" : ",single)"));
+  return x86_comparison_impl(prec, multithreaded, eng, [&](Group g) {
+    return best_sg2042_threads(g, prec, eng);
+  });
+}
+
+std::vector<RatioSeries> x86_comparison(Precision prec,
+                                        bool multithreaded) {
+  return x86_comparison(prec, multithreaded, engine::shared_engine());
+}
+
+namespace legacy {
+
+int best_sg2042_threads(Group g, Precision prec, SweepEngine& eng) {
+  return best_threads_uncached(g, prec, eng);
+}
+
+std::vector<RatioSeries> x86_comparison(Precision prec, bool multithreaded,
+                                        SweepEngine& eng) {
+  const auto scope = eng.phase(
+      std::string("legacy::x86_comparison(") +
+      std::string(core::to_string(prec)) +
+      (multithreaded ? ",multi)" : ",single)"));
+  // The pre-engine hot spot, reproduced: one best-threads recomputation
+  // per *kernel*, each re-simulating the kernel's whole class twice.
+  return x86_comparison_impl(prec, multithreaded, eng, [&](Group g) {
+    return best_threads_uncached(g, prec, eng);
+  });
+}
+
+}  // namespace legacy
 
 }  // namespace sgp::experiments

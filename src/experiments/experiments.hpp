@@ -1,6 +1,15 @@
 // The paper's experiments as reusable pipelines. Each bench binary is a
 // thin printer over these functions, and the integration tests assert
 // the paper's qualitative findings on the same structured outputs.
+//
+// Every pipeline runs on the sweep engine (src/engine): evaluation
+// points are memoized in a content-addressed cache and fanned out over
+// a thread pool, so pipelines sharing points (the x86 baselines, the
+// scaling tables, repeated invocations from tests and bench binaries in
+// one process) stop re-simulating them. The parameterless overloads use
+// the process-wide engine::shared_engine(); results are bit-identical
+// to the historical serial code by construction (the engine only
+// schedules and caches — the models are untouched).
 #pragma once
 
 #include <map>
@@ -13,12 +22,19 @@
 #include "report/stats.hpp"
 #include "sim/config.hpp"
 
+namespace sgp::engine {
+class SweepEngine;
+}
+
 namespace sgp::experiments {
 
 /// Per-kernel simulated times (seconds over all reps) for one machine
 /// under one configuration, keyed by kernel name.
 std::map<std::string, double> kernel_times(
     const machine::MachineDescriptor& m, const sim::SimConfig& cfg);
+std::map<std::string, double> kernel_times(
+    const machine::MachineDescriptor& m, const sim::SimConfig& cfg,
+    engine::SweepEngine& eng);
 
 /// A per-class summary of encoded ratios (the paper's bar + whiskers):
 /// mean/min/max are in the paper's "times faster/slower" encoding.
@@ -42,6 +58,7 @@ struct RatioSeries {
 /// Single-core RISC-V comparison, baseline VisionFive V2 at FP64.
 /// Series order: V1 FP64, V1 FP32, V2 FP32, SG2042 FP64, SG2042 FP32.
 std::vector<RatioSeries> figure1();
+std::vector<RatioSeries> figure1(engine::SweepEngine& eng);
 
 // -------------------------------------------------------- Tables 1-3 --
 struct ScalingCell {
@@ -58,11 +75,14 @@ struct ScalingTable {
 /// SG2042 thread-scaling at FP32 under a placement policy (the paper's
 /// Tables 1, 2 and 3 for block/cyclic/cluster respectively).
 ScalingTable scaling_table(machine::Placement placement);
+ScalingTable scaling_table(machine::Placement placement,
+                           engine::SweepEngine& eng);
 
 // ---------------------------------------------------------- Figure 2 --
 /// Single-core vectorisation on/off on the SG2042, per precision.
 /// Series order: FP32, FP64. Ratios are t_scalar / t_vector.
 std::vector<RatioSeries> figure2();
+std::vector<RatioSeries> figure2(engine::SweepEngine& eng);
 
 // ---------------------------------------------------------- Figure 3 --
 struct Fig3Row {
@@ -77,6 +97,7 @@ struct Fig3Row {
 
 /// Clang VLA/VLS vs GCC, Polybench kernels, FP32, single C920 core.
 std::vector<Fig3Row> figure3();
+std::vector<Fig3Row> figure3(engine::SweepEngine& eng);
 
 // ------------------------------------------------------- Figures 4-7 --
 /// x86 CPUs vs the SG2042 baseline. `multithreaded` = false gives
@@ -84,10 +105,43 @@ std::vector<Fig3Row> figure3();
 /// order matches Table 4: Rome, Broadwell, Icelake, Sandybridge.
 std::vector<RatioSeries> x86_comparison(core::Precision prec,
                                         bool multithreaded);
+std::vector<RatioSeries> x86_comparison(core::Precision prec,
+                                        bool multithreaded,
+                                        engine::SweepEngine& eng);
 
 /// The most performant SG2042 thread count for a class (the paper found
 /// 32 beats 64 for some classes); candidates {32, 64}, cluster placement.
+/// Memoized per (group, precision) process-wide, so the x86 baselines
+/// ask once per class instead of once per kernel.
 int best_sg2042_threads(core::Group g, core::Precision prec);
+int best_sg2042_threads(core::Group g, core::Precision prec,
+                        engine::SweepEngine& eng);
+
+/// Drops the best_sg2042_threads memo (tests and the sweep-engine
+/// microbenchmark use this to measure request counts from a clean slate).
+void reset_best_threads_memo();
+
+// ------------------------------------------------------------ Legacy --
+/// Faithful replicas of the pre-engine call graphs, kept so
+/// bench/micro_sweep_engine can measure the historical Simulator::run
+/// volume empirically (run them against an engine with use_cache =
+/// false) and assert the engine's outputs are identical. Not for new
+/// callers.
+namespace legacy {
+
+/// Pre-engine x86_comparison: when multithreaded, recomputes the best
+/// thread count *per kernel*, each time re-simulating the kernel's
+/// whole class at both candidate counts (no memo, no cache reuse).
+std::vector<RatioSeries> x86_comparison(core::Precision prec,
+                                        bool multithreaded,
+                                        engine::SweepEngine& eng);
+
+/// Pre-engine best_sg2042_threads: unmemoized, 2 x |class| simulations
+/// per call.
+int best_sg2042_threads(core::Group g, core::Precision prec,
+                        engine::SweepEngine& eng);
+
+}  // namespace legacy
 
 // ------------------------------------------------------------ Helpers --
 /// Mean/min/max of encoded ratios per group, given per-kernel ratios and

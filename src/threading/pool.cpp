@@ -6,6 +6,13 @@
 
 namespace sgp::threading {
 
+int recommended_jobs(int requested) noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  if (requested <= 0) return fallback;
+  return std::min(requested, 4 * fallback);
+}
+
 std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,
                                                             int chunks,
                                                             int c) {

@@ -17,6 +17,13 @@
 
 namespace sgp::threading {
 
+/// Resolves a user-facing `--jobs` request to a worker count: values
+/// >= 1 are clamped to [1, 4 * hardware_concurrency]; 0 (or negative)
+/// means "one per hardware thread" (at least 1 when the runtime cannot
+/// tell). Shared by the sweep engine and the bench binaries so every
+/// surface resolves jobs the same way.
+int recommended_jobs(int requested) noexcept;
+
 class ThreadPool final : public core::Executor {
  public:
   /// Spawns `nthreads` workers (>= 1). nthreads == 1 degenerates to

@@ -67,13 +67,34 @@ TEST_F(CsvIntegration, ScalingCsvHasAllCells) {
   EXPECT_EQ(check_csv(path), 36u);
 }
 
-TEST_F(CsvIntegration, CsvDirParsing) {
-  const char* argv1[] = {"prog", "--csv", "/tmp/x"};
-  EXPECT_EQ(csv_dir(3, const_cast<char**>(argv1)).value_or(""), "/tmp/x");
+TEST_F(CsvIntegration, BenchArgParsing) {
+  const char* argv1[] = {"prog", "--csv", "/tmp/x", "--jobs", "4",
+                         "--perf"};
+  const auto opt = parse_bench_args(6, const_cast<char**>(argv1));
+  EXPECT_EQ(opt.csv_dir.value_or(""), "/tmp/x");
+  EXPECT_EQ(opt.jobs, 4);
+  EXPECT_TRUE(opt.perf);
+
   const char* argv2[] = {"prog"};
-  EXPECT_FALSE(csv_dir(1, const_cast<char**>(argv2)).has_value());
-  const char* argv3[] = {"prog", "--csv"};  // missing value
-  EXPECT_FALSE(csv_dir(2, const_cast<char**>(argv3)).has_value());
+  const auto defaults = parse_bench_args(1, const_cast<char**>(argv2));
+  EXPECT_FALSE(defaults.csv_dir.has_value());
+  EXPECT_EQ(defaults.jobs, 0);
+  EXPECT_FALSE(defaults.perf);
+}
+
+TEST_F(CsvIntegration, BenchArgParsingRejectsBadFlags) {
+  const char* missing[] = {"prog", "--csv"};
+  EXPECT_EXIT(parse_bench_args(2, const_cast<char**>(missing)),
+              ::testing::ExitedWithCode(64), "missing value");
+  const char* unknown[] = {"prog", "--wat"};
+  EXPECT_EXIT(parse_bench_args(2, const_cast<char**>(unknown)),
+              ::testing::ExitedWithCode(64), "unknown flag");
+  const char* badjobs[] = {"prog", "--jobs", "pony"};
+  EXPECT_EXIT(parse_bench_args(3, const_cast<char**>(badjobs)),
+              ::testing::ExitedWithCode(64), "bad value");
+  const char* negjobs[] = {"prog", "--jobs", "-2"};
+  EXPECT_EXIT(parse_bench_args(3, const_cast<char**>(negjobs)),
+              ::testing::ExitedWithCode(64), "bad value");
 }
 
 }  // namespace
