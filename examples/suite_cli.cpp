@@ -23,9 +23,13 @@
 //                           TRIAD:delay:250,COPY:throw:1" (see
 //                           docs/RESILIENCE.md for the grammar)
 //     --inject-seed <n>     seed for probabilistic fault specs
+//     --trace <file>        write a Chrome trace_event JSON (open in
+//                           about:tracing or Perfetto)
+//     --metrics <file>      write a run manifest + metrics snapshot
 //
 // Exit codes: 0 = all kernels ok (or skipped), 1 = completed with
 // partial failures, 2 = fatal error, 64 = usage error.
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -33,8 +37,12 @@
 #include <string>
 #include <vector>
 
+#include "engine/fingerprint.hpp"
 #include "kernels/register_all.hpp"
 #include "native/suite_runner.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "resilience/fault_injector.hpp"
@@ -53,6 +61,8 @@ struct Options {
   std::optional<std::string> csv_path;
   std::optional<resilience::FaultPlan> fault_plan;
   unsigned inject_seed = 4242u;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
 };
 
 std::optional<core::Group> parse_group(const std::string& s) {
@@ -143,11 +153,58 @@ Options parse_args(int argc, char** argv) {
       opt.fault_plan = resilience::FaultPlan::parse(next());
     } else if (arg == "--inject-seed") {
       opt.inject_seed = static_cast<unsigned>(next_int());
+    } else if (arg == "--trace") {
+      opt.trace_path = next();
+    } else if (arg == "--metrics") {
+      opt.metrics_path = next();
     } else {
       throw std::invalid_argument("unknown option " + arg);
     }
   }
   return opt;
+}
+
+/// Writes the --trace/--metrics artifacts. Throws on I/O failure or —
+/// defensively — if either artifact fails its own JSON validation.
+void write_observability(const Options& opt,
+                         const std::map<resilience::Outcome, int>& outcomes) {
+  if (opt.trace_path) {
+    const std::string json = obs::Tracer::instance().chrome_trace_json();
+    if (const auto err = obs::json_error(json)) {
+      throw std::runtime_error("trace JSON invalid: " + *err);
+    }
+    std::ofstream out(*opt.trace_path, std::ios::binary);
+    out << json;
+    if (!out.flush()) {
+      throw std::runtime_error("cannot write " + *opt.trace_path);
+    }
+  }
+  if (opt.metrics_path) {
+    obs::RunManifest man("suite_cli");
+    man.add("run", "threads",
+            static_cast<std::int64_t>(opt.rp.num_threads));
+    man.add("run", "size_factor", opt.rp.size_factor);
+    man.add("run", "rep_factor", opt.rp.rep_factor);
+    man.add("run", "keep_going", opt.policy.keep_going);
+    man.add("run", "kernel_timeout_s", opt.policy.kernel_timeout_s);
+    {
+      engine::Fnv1a fp;
+      fp.i32(opt.rp.num_threads);
+      fp.f64(opt.rp.size_factor);
+      fp.f64(opt.rp.rep_factor);
+      char buf[17] = {};
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(fp.digest()));
+      man.add("run", "params_fingerprint", buf);
+    }
+    for (const auto& [o, n] : outcomes) {
+      if (n > 0) {
+        man.add("outcomes", std::string(resilience::to_string(o)),
+                static_cast<std::uint64_t>(n));
+      }
+    }
+    man.write(*opt.metrics_path, obs::registry().snapshot());
+  }
 }
 
 }  // namespace
@@ -160,6 +217,7 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 64;
   }
+  if (opt.trace_path) obs::Tracer::instance().enable();
 
   const auto registry = kernels::make_registry();
   std::vector<std::string> names;
@@ -263,6 +321,12 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << e.what() << "\n";
       return 2;
     }
+  }
+  try {
+    write_observability(opt, outcome_count);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
   return failures > 0 ? 1 : 0;
 }

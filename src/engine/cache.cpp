@@ -11,10 +11,12 @@ sim::TimeBreakdown SimCache::get_or_compute(
     const auto it = s.map.find(key);
     if (it != s.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      obs_hits_.add();
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_misses_.add();
   sim::TimeBreakdown value = compute();
   {
     std::lock_guard<std::mutex> lock(s.mu);
@@ -32,9 +34,11 @@ std::optional<sim::TimeBreakdown> SimCache::find(const CacheKey& key) {
   const auto it = s.map.find(key);
   if (it == s.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs_misses_.add();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  obs_hits_.add();
   return it->second;
 }
 
@@ -50,7 +54,7 @@ CacheStats SimCache::stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<Shard&>(s).mu);
+    std::lock_guard<std::mutex> lock(s.mu);
     out.entries += s.map.size();
   }
   return out;

@@ -18,6 +18,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace sgp::engine {
@@ -69,7 +70,8 @@ class SimCache {
   static constexpr std::size_t kShards = 16;
 
   struct Shard {
-    std::mutex mu;
+    /// mutable: stats() locks shards on a const cache.
+    mutable std::mutex mu;
     std::unordered_map<CacheKey, sim::TimeBreakdown, CacheKeyHash> map;
   };
 
@@ -80,6 +82,14 @@ class SimCache {
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  /// Process-wide mirrors of the per-instance statistics, aggregated
+  /// over every SimCache in the obs registry ("engine.cache.*"), so a
+  /// metrics snapshot carries the cache story without asking each
+  /// engine. Per-instance stats() remains the A/B accounting tool.
+  obs::Counter& obs_hits_ =
+      obs::registry().counter("engine.cache.hits");
+  obs::Counter& obs_misses_ =
+      obs::registry().counter("engine.cache.misses");
 };
 
 }  // namespace sgp::engine

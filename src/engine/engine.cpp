@@ -2,9 +2,30 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "threading/pool.hpp"
 
 namespace sgp::engine {
+
+namespace {
+
+/// Process-wide engine metrics, aggregated over every SweepEngine
+/// (the cache's hit/miss mirrors live in SimCache itself).
+struct EngineMetrics {
+  obs::Counter& requests = obs::registry().counter("engine.requests");
+  obs::Counter& simulations =
+      obs::registry().counter("engine.simulations");
+  obs::Counter& simulators_built =
+      obs::registry().counter("engine.simulators_built");
+  obs::Counter& batches = obs::registry().counter("engine.batches");
+
+  static EngineMetrics& get() {
+    static EngineMetrics* m = new EngineMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
 
 SweepEngine::SweepEngine(EngineOptions opt)
     : jobs_(threading::recommended_jobs(opt.jobs)),
@@ -27,16 +48,19 @@ const sim::Simulator& SweepEngine::simulator_for(
     it = sims_.emplace(machine_fp, std::make_unique<sim::Simulator>(m))
              .first;
     simulators_built_.fetch_add(1, std::memory_order_relaxed);
+    EngineMetrics::get().simulators_built.add();
   }
   return *it->second;
 }
 
 sim::TimeBreakdown SweepEngine::run_point(const SweepPoint& p) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::get().requests.add();
   const std::uint64_t machine_fp = machine_fingerprint(*p.machine);
   const sim::Simulator& simulator = simulator_for(*p.machine, machine_fp);
   auto compute = [&] {
     simulations_.fetch_add(1, std::memory_order_relaxed);
+    EngineMetrics::get().simulations.add();
     return simulator.run(*p.signature, p.config);
   };
   if (!use_cache_) return compute();
@@ -54,6 +78,8 @@ sim::TimeBreakdown SweepEngine::run(const machine::MachineDescriptor& m,
 std::vector<sim::TimeBreakdown> SweepEngine::run_batch(
     std::span<const SweepPoint> points) {
   batches_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::get().batches.add();
+  const obs::Span span("SweepEngine::run_batch");
   std::vector<sim::TimeBreakdown> results(points.size());
   if (points.empty()) return results;
   if (jobs_ == 1 || points.size() == 1) {
@@ -81,6 +107,7 @@ std::vector<sim::TimeBreakdown> SweepEngine::run_grid(
     const machine::MachineDescriptor& m,
     std::span<const core::KernelSignature> sigs,
     std::span<const sim::SimConfig> cfgs) {
+  const obs::Span span("SweepEngine::run_grid");
   std::vector<SweepPoint> points;
   points.reserve(sigs.size() * cfgs.size());
   for (const auto& cfg : cfgs) {
@@ -93,18 +120,20 @@ std::vector<sim::TimeBreakdown> SweepEngine::run_grid(
 
 // ------------------------------------------------------------ phases --
 
-SweepEngine::PhaseScope::PhaseScope(SweepEngine* eng, std::size_t index)
+SweepEngine::PhaseScope::PhaseScope(SweepEngine* eng, std::size_t index,
+                                    const std::string& name)
     : eng_(eng),
       index_(index),
       start_(std::chrono::steady_clock::now()),
-      requests_at_start_(
-          eng->requests_.load(std::memory_order_relaxed)) {}
+      requests_at_start_(eng->requests_.load(std::memory_order_relaxed)),
+      span_(std::make_unique<obs::Span>("phase:" + name)) {}
 
 SweepEngine::PhaseScope::PhaseScope(PhaseScope&& other) noexcept
     : eng_(std::exchange(other.eng_, nullptr)),
       index_(other.index_),
       start_(other.start_),
-      requests_at_start_(other.requests_at_start_) {}
+      requests_at_start_(other.requests_at_start_),
+      span_(std::move(other.span_)) {}
 
 SweepEngine::PhaseScope::~PhaseScope() {
   if (!eng_) return;
@@ -125,7 +154,7 @@ SweepEngine::PhaseScope SweepEngine::phase(const std::string& name) {
     it = phase_index_.emplace(name, phases_.size()).first;
     phases_.push_back(PhaseStat{name, 0.0, 0});
   }
-  return PhaseScope(this, it->second);
+  return PhaseScope(this, it->second, name);
 }
 
 void SweepEngine::finish_phase(std::size_t index, double wall_s,
@@ -146,6 +175,7 @@ EngineCounters SweepEngine::counters() const {
   out.batches = batches_.load(std::memory_order_relaxed);
   const CacheStats cs = cache_.stats();
   out.cache_hits = cs.hits;
+  out.cache_misses = cs.misses;
   out.cache_entries = cs.entries;
   {
     std::lock_guard<std::mutex> lock(phases_mu_);

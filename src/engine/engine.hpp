@@ -34,6 +34,7 @@
 
 #include "engine/cache.hpp"
 #include "engine/fingerprint.hpp"
+#include "obs/trace.hpp"
 
 namespace sgp::threading {
 class ThreadPool;
@@ -58,9 +59,10 @@ struct PhaseStat {
 };
 
 struct EngineCounters {
-  std::uint64_t requests = 0;     ///< evaluation points asked for
-  std::uint64_t cache_hits = 0;   ///< served from the memo cache
-  std::uint64_t simulations = 0;  ///< actual Simulator::run executions
+  std::uint64_t requests = 0;      ///< evaluation points asked for
+  std::uint64_t cache_hits = 0;    ///< served from the memo cache
+  std::uint64_t cache_misses = 0;  ///< memo cache lookups that missed
+  std::uint64_t simulations = 0;   ///< actual Simulator::run executions
   std::uint64_t simulators_built = 0;
   std::uint64_t batches = 0;      ///< run_batch/run_grid calls
   std::uint64_t cache_entries = 0;
@@ -124,11 +126,15 @@ class SweepEngine {
 
    private:
     friend class SweepEngine;
-    PhaseScope(SweepEngine* eng, std::size_t index);
+    PhaseScope(SweepEngine* eng, std::size_t index,
+               const std::string& name);
     SweepEngine* eng_;
     std::size_t index_;
     std::chrono::steady_clock::time_point start_;
     std::uint64_t requests_at_start_;
+    /// Trace span covering the phase (heap so moves keep the
+    /// thread-local span stack untouched).
+    std::unique_ptr<obs::Span> span_;
   };
 
   PhaseScope phase(const std::string& name);

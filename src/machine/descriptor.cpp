@@ -73,10 +73,6 @@ void MachineDescriptor::validate() const {
     if (cl.empty()) {
       throw std::invalid_argument(name + ": empty cluster");
     }
-    if (static_cast<int>(cl.size()) != l2.shared_by) {
-      throw std::invalid_argument(name +
-                                  ": cluster size != l2.shared_by");
-    }
     for (int c : cl) {
       if (c < 0 || c >= num_cores) {
         throw std::invalid_argument(name + ": cluster core id out of range");
@@ -98,6 +94,13 @@ void MachineDescriptor::validate() const {
   }
   if (!l1d.present() || !l2.present()) {
     throw std::invalid_argument(name + ": L1D and L2 are required");
+  }
+  // shared_by need not equal the cluster width (the L2 capacity model
+  // divides by the actual cluster population, see sim/cache_model.cpp);
+  // it must merely be a sensible sharer count.
+  if (l1d.shared_by < 1 || l2.shared_by < 1 ||
+      (l3.present() && l3.shared_by < 1)) {
+    throw std::invalid_argument(name + ": cache shared_by must be >= 1");
   }
   if (memory_derating <= 0.0 || memory_derating > 1.0) {
     throw std::invalid_argument(name + ": memory_derating must be in (0,1]");

@@ -1,19 +1,28 @@
 #include "machine/serialize.hpp"
 
-#include <cstdio>
+#include <charconv>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 #include <vector>
 
 namespace sgp::machine {
 
 namespace {
 
+// Number formatting/parsing uses std::to_chars/std::from_chars
+// throughout: they are locale-independent by definition, so a process
+// running under a comma-decimal locale (de_DE, fr_FR, ...) round-trips
+// descriptors identically to the "C" locale. snprintf("%.6g") and
+// std::stod honour the global locale and silently corrupt the INI
+// exchange format the moment anything calls setlocale().
+
 std::string fmt(double v) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+  const auto [end, ec] = std::to_chars(
+      buf, buf + sizeof(buf), v, std::chars_format::general, 6);
+  return std::string(buf, ec == std::errc() ? end : buf);
 }
 
 void emit_cache(std::ostringstream& out, const char* name,
@@ -76,6 +85,11 @@ struct Parser {
     return sections.count(section) > 0;
   }
 
+  bool has_key(const std::string& section, const std::string& key) const {
+    const auto sit = sections.find(section);
+    return sit != sections.end() && sit->second.count(key) > 0;
+  }
+
   const std::string& get(const std::string& section,
                          const std::string& key) const {
     const auto sit = sections.find(section);
@@ -92,15 +106,14 @@ struct Parser {
 
   double num(const std::string& section, const std::string& key) const {
     const auto& v = get(section, key);
-    try {
-      std::size_t used = 0;
-      const double d = std::stod(v, &used);
-      if (used != v.size()) throw std::invalid_argument(v);
-      return d;
-    } catch (const std::exception&) {
+    double d = 0.0;
+    const auto [end, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), d);
+    if (ec != std::errc() || end != v.data() + v.size()) {
       throw std::invalid_argument("bad number '" + v + "' for " + key +
                                   " in [" + section + "]");
     }
+    return d;
   }
 
   /// Integer-valued key with range checking: a fuzzer can supply
@@ -150,11 +163,17 @@ struct Parser {
   }
 };
 
-CacheSpec parse_cache(const Parser& p, const std::string& section) {
+/// Parses one cache section. `shared_by_default` (when >= 1) makes the
+/// shared_by key optional: an explicit key always wins, the default is
+/// used only when the key is absent. A default of 0 keeps it required.
+CacheSpec parse_cache(const Parser& p, const std::string& section,
+                      int shared_by_default = 0) {
   CacheSpec c;
   c.size_bytes = p.size_kb(section, "size_kb") * 1024;
   c.line_bytes = p.int_num(section, "line_bytes");
-  c.shared_by = p.int_num(section, "shared_by");
+  c.shared_by = shared_by_default >= 1 && !p.has_key(section, "shared_by")
+                    ? shared_by_default
+                    : p.int_num(section, "shared_by");
   c.bw_bytes_per_cycle = p.num(section, "bw_bytes_per_cycle");
   c.latency_cycles = p.num(section, "latency_cycles");
   return c;
@@ -267,7 +286,11 @@ MachineDescriptor from_ini(std::string_view text) {
   m.core = c;
 
   m.l1d = parse_cache(p, "l1d");
-  m.l2 = parse_cache(p, "l2");
+  // An explicit [l2] shared_by is authoritative; cluster_width is only
+  // the fallback for descriptors that omit the key. (This used to be
+  // unconditionally overwritten below the cluster construction, which
+  // silently discarded any shared_by != cluster_width.)
+  m.l2 = parse_cache(p, "l2", cluster_width);
   if (p.has("l3")) m.l3 = parse_cache(p, "l3");
 
   for (const auto& section : p.numa_sections) {
@@ -276,14 +299,14 @@ MachineDescriptor from_ini(std::string_view text) {
     std::string item;
     while (std::getline(ss, item, ',')) {
       const std::string id = trim(item);
-      try {
-        std::size_t used = 0;
-        r.cores.push_back(std::stoi(id, &used));
-        if (used != id.size()) throw std::invalid_argument(id);
-      } catch (const std::exception&) {
+      int core_id = 0;
+      const auto [end, ec] =
+          std::from_chars(id.data(), id.data() + id.size(), core_id);
+      if (ec != std::errc() || end != id.data() + id.size()) {
         throw std::invalid_argument("bad core id '" + id + "' in [" +
                                     section + "]");
       }
+      r.cores.push_back(core_id);
     }
     r.controllers = p.int_num(section, "controllers");
     r.mem_bw_gbs = p.num(section, "mem_bw_gbs");
@@ -297,7 +320,6 @@ MachineDescriptor from_ini(std::string_view text) {
     }
     m.clusters.push_back(std::move(cl));
   }
-  m.l2.shared_by = cluster_width;
 
   m.fork_join_us = p.num_or("sync", "fork_join_us", 2.0);
   m.barrier_us_per_thread =

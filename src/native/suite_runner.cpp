@@ -6,12 +6,50 @@
 #include <optional>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "resilience/guard.hpp"
 #include "threading/pool.hpp"
 
 namespace sgp::native {
 
 using resilience::Outcome;
+
+namespace {
+
+/// Process-wide suite metrics, aggregated over every SuiteRunner.
+struct SuiteMetrics {
+  obs::Counter& kernels = obs::registry().counter("suite.kernels");
+  obs::Counter& retries = obs::registry().counter("suite.retries");
+  obs::Counter& quarantined =
+      obs::registry().counter("suite.quarantined");
+  obs::Counter& failures = obs::registry().counter("suite.failures");
+  obs::Counter& timeouts = obs::registry().counter("suite.timeouts");
+
+  static SuiteMetrics& get() {
+    static SuiteMetrics* m = new SuiteMetrics();
+    return *m;
+  }
+};
+
+void count_outcome(const KernelRunRecord& rec) {
+  SuiteMetrics& sm = SuiteMetrics::get();
+  switch (rec.outcome) {
+    case Outcome::Ok:
+      break;
+    case Outcome::Skipped:
+      sm.quarantined.add();
+      break;
+    case Outcome::TimedOut:
+      sm.timeouts.add();
+      break;
+    default:
+      sm.failures.add();
+      break;
+  }
+}
+
+}  // namespace
 
 SuiteRunner::SuiteRunner(const core::Registry& registry, core::RunParams rp)
     : SuiteRunner(registry, rp, RunPolicy{}) {}
@@ -105,6 +143,8 @@ KernelRunRecord SuiteRunner::run_one(std::string_view name,
     if (!hint.empty()) msg += "; did you mean '" + hint + "'?";
     throw std::out_of_range(msg);
   }
+  SuiteMetrics::get().kernels.add();
+  const obs::Span span("kernel:" + std::string(name));
   if (quarantined(name)) {
     KernelRunRecord rec;
     rec.name = name;
@@ -114,6 +154,7 @@ KernelRunRecord SuiteRunner::run_one(std::string_view name,
     rec.outcome = Outcome::Skipped;
     rec.error = "quarantined";
     rec.attempts = 0;
+    count_outcome(rec);
     return rec;
   }
 
@@ -122,6 +163,7 @@ KernelRunRecord SuiteRunner::run_one(std::string_view name,
   std::exception_ptr error;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     error = nullptr;
+    if (attempt > 1) SuiteMetrics::get().retries.add();
     rec = run_attempt(name, p, error);
     rec.attempts = attempt;
     if (rec.ok() || !resilience::is_retryable(rec.outcome)) break;
@@ -134,6 +176,7 @@ KernelRunRecord SuiteRunner::run_one(std::string_view name,
     }
   }
 
+  count_outcome(rec);
   // Strict mode keeps the historical contract: a kernel failure
   // surfaces as the original exception. CorruptChecksum has no
   // exception to rethrow and is reported through the record instead.

@@ -1,0 +1,221 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace sgp::obs {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(ch >> 4) & 0xf];
+          out += hex[ch & 0xf];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, r.ptr);
+}
+
+std::string json_number(std::uint64_t v) {
+  char buf[24];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, r.ptr);
+}
+
+namespace {
+
+/// Recursive-descent validator over a string_view cursor.
+struct Validator {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::optional<std::string> error;
+
+  bool fail(const std::string& what) {
+    if (!error) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (text[pos] == ' ' || text[pos] == '\t' ||
+                      text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos;
+    while (!eof() && peek() != '"') {
+      const unsigned char ch = static_cast<unsigned char>(peek());
+      if (ch < 0x20) return fail("unescaped control character");
+      if (ch == '\\') {
+        ++pos;
+        if (eof()) return fail("truncated escape");
+        const char esc = peek();
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (eof() || !std::isxdigit(
+                             static_cast<unsigned char>(peek()))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                   esc != 'b' && esc != 'f' && esc != 'n' &&
+                   esc != 'r' && esc != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++pos;
+    }
+    if (eof()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos;
+    }
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && peek() == '-') ++pos;
+    if (eof()) return fail("truncated number");
+    if (peek() == '0') {
+      ++pos;  // no leading zeros
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("expected value");
+    const char ch = peek();
+    if (ch == '{') return object(depth);
+    if (ch == '[') return array(depth);
+    if (ch == '"') return string();
+    if (ch == 't') return literal("true");
+    if (ch == 'f') return literal("false");
+    if (ch == 'n') return literal("null");
+    if (ch == '-' || std::isdigit(static_cast<unsigned char>(ch))) {
+      return number();
+    }
+    return fail("unexpected character");
+  }
+
+  bool object(int depth) {
+    ++pos;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':'");
+      ++pos;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(int depth) {
+    ++pos;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::string> json_error(std::string_view text) {
+  Validator v{text};
+  if (!v.value(0)) return v.error;
+  v.skip_ws();
+  if (!v.eof()) v.fail("trailing garbage");
+  return v.error;
+}
+
+}  // namespace sgp::obs

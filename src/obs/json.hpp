@@ -1,0 +1,35 @@
+// Minimal JSON utilities for the observability exporters: string
+// escaping, locale-independent number formatting, and a strict
+// well-formedness validator (RFC 8259 grammar, no DOM) so every file
+// the obs layer writes can be self-checked before it is handed to
+// about:tracing/Perfetto or downstream tooling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sgp::obs {
+
+/// `s` as a quoted JSON string with control characters, quotes and
+/// backslashes escaped.
+std::string json_quote(std::string_view s);
+
+/// A double as a JSON number token, locale-independent
+/// (std::to_chars). Non-finite values have no JSON representation and
+/// are emitted as null.
+std::string json_number(double v);
+std::string json_number(std::uint64_t v);
+
+/// Validates that `text` is one well-formed JSON value. Returns
+/// std::nullopt on success, or a human-readable error with an
+/// approximate byte offset. This is a validator, not a parser: it
+/// builds no tree and allocates nothing but the error string.
+std::optional<std::string> json_error(std::string_view text);
+
+inline bool json_valid(std::string_view text) {
+  return !json_error(text).has_value();
+}
+
+}  // namespace sgp::obs

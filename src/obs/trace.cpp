@@ -1,0 +1,121 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace sgp::obs {
+
+namespace {
+
+thread_local std::uint64_t tls_current_span = 0;
+// 0 = unassigned; stores tid + 1 so a zero-initialised slot is "none".
+thread_local std::uint32_t tls_tid_plus1 = 0;
+
+std::uint32_t thread_index(std::atomic<std::uint32_t>& next) {
+  if (tls_tid_plus1 == 0) {
+    tls_tid_plus1 = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return tls_tid_plus1 - 1;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();  // leaked: outlives atexit hooks
+  return *t;
+}
+
+Tracer& tracer() { return Tracer::instance(); }
+
+std::uint64_t current_span() noexcept { return tls_current_span; }
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(SpanEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<SpanEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const auto evs = events();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& ev : evs) {
+    out += first ? "\n" : ",\n";
+    out += "  {\"name\": " + json_quote(ev.name) +
+           ", \"cat\": \"sgp\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           json_number(std::uint64_t{ev.tid}) +
+           ", \"ts\": " + json_number(ev.start_us) +
+           ", \"dur\": " + json_number(ev.dur_us) +
+           ", \"args\": {\"id\": " + json_number(ev.id) +
+           ", \"parent\": " + json_number(ev.parent) + "}}";
+    first = false;
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+Span::Span(std::string_view name) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  id_ = t.next_id_.fetch_add(1, std::memory_order_relaxed);
+  parent_ = tls_current_span;
+  tls_current_span = id_;
+  name_ = name;
+  start_us_ = t.now_us();
+}
+
+Span::~Span() {
+  if (id_ == 0) return;
+  Tracer& t = tracer();
+  tls_current_span = parent_;
+  // A span that began before disable() still completes its record, so
+  // the exported file has no dangling parents.
+  SpanEvent ev;
+  ev.name = std::move(name_);
+  ev.id = id_;
+  ev.parent = parent_;
+  ev.tid = thread_index(t.next_tid_);
+  ev.start_us = start_us_;
+  ev.dur_us = t.now_us() - start_us_;
+  t.record(std::move(ev));
+}
+
+AdoptParent::AdoptParent(std::uint64_t parent_id) noexcept
+    : saved_(tls_current_span) {
+  // Adopting parent 0 is a no-op rather than a reset: a worker that is
+  // mid-span keeps its own context when the dispatcher traced nothing.
+  if (parent_id != 0) tls_current_span = parent_id;
+}
+
+AdoptParent::~AdoptParent() { tls_current_span = saved_; }
+
+}  // namespace sgp::obs

@@ -1,0 +1,122 @@
+// Scoped tracing spans with a Chrome trace_event JSON exporter.
+//
+// A Span is an RAII scope: it records (name, thread, start, duration,
+// parent) into the process-wide Tracer when tracing is enabled, and
+// costs one relaxed atomic load when it is not — every instrumented
+// hot path (Simulator::run, pool chunks) stays effectively free in
+// normal runs. Parentage is a thread-local stack of span ids, so spans
+// nest naturally within one thread; a dispatching scope crosses thread
+// boundaries explicitly by capturing `current_span()` and adopting it
+// on the worker with AdoptParent (the thread pool does this for every
+// chunk, which is how a whole parallel batch hangs under the batch
+// span in the viewer).
+//
+// The exported file is the Chrome trace_event "JSON object format"
+// with complete ("ph":"X") events; open it in about:tracing or
+// https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgp::obs {
+
+/// One completed span, timestamps in microseconds since enable().
+struct SpanEvent {
+  std::string name;
+  std::uint64_t id = 0;      ///< unique per process, 1-based
+  std::uint64_t parent = 0;  ///< enclosing span id, 0 = root
+  std::uint32_t tid = 0;     ///< small per-thread index, 0-based
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer (never destroyed).
+  static Tracer& instance();
+
+  /// Starts recording; the trace clock zeroes here.
+  void enable();
+  /// Stops recording; already-recorded events are kept.
+  void disable();
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies out every completed span, in completion order.
+  std::vector<SpanEvent> events() const;
+  /// Drops all recorded events (the clock keeps running).
+  void clear();
+
+  /// The whole trace in Chrome trace_event JSON object format.
+  std::string chrome_trace_json() const;
+
+  std::size_t event_count() const;
+
+ private:
+  friend class Span;
+  Tracer() = default;
+
+  void record(SpanEvent ev);
+  double now_us() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint32_t> next_tid_{0};
+  std::chrono::steady_clock::time_point epoch_{};
+
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+};
+
+/// Shorthand for Tracer::instance().
+Tracer& tracer();
+
+/// Id of the innermost live span on this thread (0 outside any span,
+/// or when tracing is disabled).
+std::uint64_t current_span() noexcept;
+
+/// RAII scope recording one span. Create and destroy on the same
+/// thread, strictly LIFO per thread.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is actually recording.
+  bool active() const noexcept { return id_ != 0; }
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  double start_us_ = 0.0;
+  std::string name_;
+};
+
+/// Installs `parent_id` as this thread's current span for the scope's
+/// lifetime: spans opened inside hang under a span that lives on
+/// another thread. Used by the thread pool to parent worker chunks
+/// under the dispatching scope.
+class AdoptParent {
+ public:
+  explicit AdoptParent(std::uint64_t parent_id) noexcept;
+  ~AdoptParent();
+
+  AdoptParent(const AdoptParent&) = delete;
+  AdoptParent& operator=(const AdoptParent&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace sgp::obs

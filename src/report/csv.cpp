@@ -8,7 +8,9 @@ namespace sgp::report {
 namespace {
 
 std::string escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  // RFC 4180: quote on comma, quote, LF *and* CR — a bare \r inside an
+  // unquoted field desynchronises strict readers.
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char ch : cell) {
     if (ch == '"') out += '"';

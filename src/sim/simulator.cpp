@@ -1,8 +1,11 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/pattern.hpp"
 
 namespace sgp::sim {
@@ -14,6 +17,12 @@ Simulator::Simulator(machine::MachineDescriptor m)
 
 TimeBreakdown Simulator::run(const core::KernelSignature& sig,
                              const SimConfig& cfg) const {
+  static obs::Counter& runs = obs::registry().counter("sim.runs");
+  static obs::Histogram& run_ns =
+      obs::registry().histogram("sim.run_ns");
+  const obs::Span span("Simulator::run");
+  const auto obs_t0 = std::chrono::steady_clock::now();
+
   if (cfg.nthreads < 1 || cfg.nthreads > m_.num_cores) {
     throw std::invalid_argument("Simulator::run: nthreads out of range");
   }
@@ -103,6 +112,12 @@ TimeBreakdown Simulator::run(const core::KernelSignature& sig,
   out.sync_s = sync_per_rep * sig.reps;
   out.atomic_s = atomic_per_rep * sig.reps;
   out.total_s = per_rep * sig.reps;
+
+  runs.add();
+  run_ns.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - obs_t0)
+          .count()));
   return out;
 }
 

@@ -2,9 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sgp::threading {
+
+namespace {
+
+/// Process-wide pool metrics, aggregated over every ThreadPool
+/// instance (the engine's, the suite runner's, transient test pools).
+struct PoolMetrics {
+  obs::Counter& dispatches =
+      obs::registry().counter("pool.dispatches");
+  obs::Counter& dynamic_dispatches =
+      obs::registry().counter("pool.dynamic_dispatches");
+  obs::Counter& epochs = obs::registry().counter("pool.epochs");
+  obs::Counter& chunks = obs::registry().counter("pool.chunks");
+  obs::Counter& busy_ns = obs::registry().counter("pool.busy_ns");
+  obs::Histogram& chunk_ns =
+      obs::registry().histogram("pool.chunk_ns");
+
+  static PoolMetrics& get() {
+    static PoolMetrics* m = new PoolMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
 
 int recommended_jobs(int requested) noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -29,6 +56,9 @@ ThreadPool::ThreadPool(int nthreads) : nthreads_(nthreads) {
   if (nthreads < 1) {
     throw std::invalid_argument("ThreadPool: nthreads must be >= 1");
   }
+  busy_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) busy_ns_[i] = 0;
   // Worker 0 is the calling thread; spawn the rest.
   workers_.reserve(static_cast<std::size_t>(nthreads - 1));
   for (int i = 1; i < nthreads; ++i) {
@@ -45,9 +75,33 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::uint64_t ThreadPool::epochs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+std::vector<double> ThreadPool::worker_busy_s() const {
+  std::vector<double> out(static_cast<std::size_t>(nthreads_));
+  for (int i = 0; i < nthreads_; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        busy_ns_[i].load(std::memory_order_relaxed) * 1e-9;
+  }
+  return out;
+}
+
 void ThreadPool::run_chunk(const ChunkFn& fn, std::size_t n, int id) {
   const auto [b, e] = chunk_range(n, nthreads_, id);
   if (b >= e || abort_.load(std::memory_order_acquire)) return;
+  std::uint64_t parent = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    parent = dispatch_parent_;
+  }
+  // Worker chunks hang under the dispatching scope's span, so one
+  // batch renders as one tree across threads in the trace viewer.
+  const obs::AdoptParent adopt(parent);
+  const obs::Span span("pool.chunk");
+  const auto t0 = std::chrono::steady_clock::now();
   try {
     fn(b, e, id);
   } catch (...) {
@@ -55,6 +109,15 @@ void ThreadPool::run_chunk(const ChunkFn& fn, std::size_t n, int id) {
     std::lock_guard<std::mutex> lk(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  busy_ns_[id].fetch_add(ns, std::memory_order_relaxed);
+  PoolMetrics& pm = PoolMetrics::get();
+  pm.chunks.add();
+  pm.busy_ns.add(ns);
+  pm.chunk_ns.observe(ns);
 }
 
 void ThreadPool::worker(int id) {
@@ -83,7 +146,11 @@ void ThreadPool::parallel_for_dynamic(std::size_t n, std::size_t grain,
   if (grain == 0) {
     throw std::invalid_argument("parallel_for_dynamic: grain must be > 0");
   }
+  PoolMetrics::get().dynamic_dispatches.add();
+  const obs::Span span("ThreadPool::parallel_for_dynamic");
   if (nthreads_ == 1) {
+    PoolMetrics::get().dispatches.add();
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) fn(0, n, 0);
     return;
   }
@@ -107,6 +174,9 @@ void ThreadPool::parallel_for_dynamic(std::size_t n, std::size_t grain,
 }
 
 void ThreadPool::parallel_for(std::size_t n, const ChunkFn& fn) {
+  PoolMetrics::get().dispatches.add();
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  const obs::Span span("ThreadPool::parallel_for");
   if (nthreads_ == 1) {
     if (n > 0) fn(0, n, 0);
     return;
@@ -119,7 +189,9 @@ void ThreadPool::parallel_for(std::size_t n, const ChunkFn& fn) {
     first_error_ = nullptr;
     abort_.store(false, std::memory_order_relaxed);
     ++epoch_;
+    dispatch_parent_ = obs::current_span();
   }
+  PoolMetrics::get().epochs.add();
   cv_work_.notify_all();
   // The calling thread is chunk 0.
   run_chunk(fn, n, 0);

@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -56,6 +57,18 @@ class ThreadPool final : public core::Executor {
   static std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
                                                          int chunks, int c);
 
+  /// Observability accessors (also mirrored into the process-wide
+  /// obs registry under pool.*): dispatches are parallel_for /
+  /// parallel_for_dynamic invocations on this pool, epochs count the
+  /// work-queue generation handed to the workers, and busy time is the
+  /// wall time each worker spent inside chunk bodies.
+  std::uint64_t dispatches() const noexcept {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t epochs() const;
+  /// Per-worker busy seconds, indexed by worker id (size nthreads).
+  std::vector<double> worker_busy_s() const;
+
  private:
   void worker(int id);
   /// Runs one chunk, capturing its exception as the job's first error
@@ -65,7 +78,7 @@ class ThreadPool final : public core::Executor {
   const int nthreads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   const ChunkFn* job_ = nullptr;
@@ -75,6 +88,13 @@ class ThreadPool final : public core::Executor {
   bool stop_ = false;
   std::exception_ptr first_error_;   ///< guarded by mu_
   std::atomic<bool> abort_{false};   ///< a chunk threw; skip unstarted ones
+
+  // --- observability ---
+  std::uint64_t dispatch_parent_ = 0;  ///< span to parent chunks under;
+                                       ///< guarded by mu_
+  std::atomic<std::uint64_t> dispatches_{0};
+  /// Nanoseconds each worker spent inside chunk bodies.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
 };
 
 }  // namespace sgp::threading

@@ -113,6 +113,15 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_NE(text.find("\"with\"\"quote\""), std::string::npos);
 }
 
+TEST(Csv, QuotesCarriageReturnsPerRfc4180) {
+  CsvWriter csv({"a"});
+  csv.add_row({"with\rreturn"});
+  csv.add_row({"with\r\ncrlf"});
+  const auto text = csv.text();
+  EXPECT_NE(text.find("\"with\rreturn\""), std::string::npos);
+  EXPECT_NE(text.find("\"with\r\ncrlf\""), std::string::npos);
+}
+
 TEST(Csv, WritesFile) {
   const auto path =
       std::filesystem::temp_directory_path() / "sgp_csv_test.csv";

@@ -1,6 +1,10 @@
 // Tests for machine-descriptor INI serialization.
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cstring>
+#include <sstream>
+
 #include "machine/serialize.hpp"
 
 namespace sgp::machine {
@@ -82,6 +86,87 @@ TEST(FromIni, CommentsAndBlankLinesAreIgnored) {
   auto text = to_ini(intel_sandybridge());
   text = "# a leading comment\n\n" + text + "\n# trailing\n";
   EXPECT_NO_THROW((void)from_ini(text));
+}
+
+TEST(RoundTripExtras, ExplicitL2SharedByIsPreserved) {
+  // A descriptor whose l2.shared_by differs from the cluster width:
+  // the parser must keep the explicit key instead of clobbering it
+  // with cluster_width (the historical bug).
+  MachineDescriptor m = sg2042();
+  ASSERT_EQ(m.clusters.front().size(), 4u);
+  m.l2.shared_by = 2;  // != cluster width on purpose
+  m.validate();
+
+  const auto text = to_ini(m);
+  const auto parsed = from_ini(text);
+  EXPECT_EQ(parsed.l2.shared_by, 2);
+  EXPECT_EQ(parsed.clusters, m.clusters);
+  // And the round trip is a fixed point: serialize -> parse ->
+  // serialize reproduces the text byte for byte.
+  EXPECT_EQ(to_ini(parsed), text);
+}
+
+TEST(RoundTripExtras, SharedByDefaultsToClusterWidthWhenAbsent) {
+  auto text = to_ini(sg2042());
+  // Drop the [l2] shared_by line only (the l1d/l3 keys stay).
+  const auto l2 = text.find("[l2]");
+  ASSERT_NE(l2, std::string::npos);
+  const auto key = text.find("shared_by = ", l2);
+  ASSERT_NE(key, std::string::npos);
+  const auto eol = text.find('\n', key);
+  text.erase(key, eol - key + 1);
+
+  const auto parsed = from_ini(text);
+  EXPECT_EQ(parsed.l2.shared_by, 4);  // sg2042 cluster width
+}
+
+/// setlocale to a comma-decimal locale for the scope of one test.
+/// Containers frequently ship only "C"/POSIX; in that case the test
+/// skips rather than fails (the ISSUE explicitly allows this).
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() {
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+          "fr_FR.utf8", "fr_FR", "it_IT.UTF-8", "pt_BR.UTF-8"}) {
+      if (std::setlocale(LC_ALL, name) != nullptr &&
+          std::strcmp(std::localeconv()->decimal_point, ",") == 0) {
+        active_ = true;
+        return;
+      }
+    }
+    std::setlocale(LC_ALL, "C");
+  }
+  ~CommaLocaleGuard() { std::setlocale(LC_ALL, "C"); }
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+};
+
+TEST(RoundTripExtras, SurvivesCommaDecimalLocale) {
+  const CommaLocaleGuard guard;
+  if (!guard.active()) {
+    GTEST_SKIP() << "no comma-decimal locale available in this image";
+  }
+  // Under de_DE, snprintf("%.6g") would emit "1,5" and stod would stop
+  // at the comma; to_chars/from_chars must be unaffected.
+  for (const auto& m : all_machines()) {
+    const auto text = to_ini(m);
+    // Outside the core-id lists, no comma may appear anywhere — a
+    // comma decimal point is exactly the corruption this guards.
+    std::istringstream lines{text};
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind("cores = ", 0) == 0) continue;
+      EXPECT_EQ(line.find(','), std::string::npos)
+          << m.name << ": locale-corrupted line '" << line << "'";
+    }
+    const auto parsed = from_ini(text);
+    EXPECT_DOUBLE_EQ(parsed.core.clock_ghz, m.core.clock_ghz) << m.name;
+    EXPECT_DOUBLE_EQ(parsed.mem_latency_ns, m.mem_latency_ns) << m.name;
+    EXPECT_EQ(to_ini(parsed), text) << m.name;
+  }
 }
 
 TEST(ToIni, OutputMentionsKeySections) {
