@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/artifacts.hpp"
 #include "engine/engine.hpp"
 #include "experiments/experiments.hpp"
 #include "machine/descriptor.hpp"
@@ -239,21 +240,12 @@ inline void print_series(const std::string& title,
   print_series(std::cout, title, s);
 }
 
-/// A series set as CSV (long format).
+/// A series set as CSV (long format). The rendering lives in
+/// check/artifacts so the golden differential runner checks the exact
+/// format the bench binaries emit.
 inline report::CsvWriter series_csv(
     const std::vector<experiments::RatioSeries>& s) {
-  report::CsvWriter csv({"series", "class", "mean", "min", "max",
-                         "kernels"});
-  for (const auto& series : s) {
-    for (const auto& g : series.groups) {
-      csv.add_row({series.label, std::string(core::to_string(g.group)),
-                   report::Table::num(g.mean, 4),
-                   report::Table::num(g.min, 4),
-                   report::Table::num(g.max, 4),
-                   std::to_string(g.kernels)});
-    }
-  }
-  return csv;
+  return check::series_csv(s);
 }
 
 inline void write_series_csv(const std::string& path,
@@ -289,21 +281,10 @@ inline void print_scaling(const std::string& title,
   print_scaling(std::cout, title, table);
 }
 
-/// A Tables 1-3 style scaling table as CSV.
+/// A Tables 1-3 style scaling table as CSV (see series_csv on why this
+/// delegates to check/artifacts).
 inline report::CsvWriter scaling_csv(const experiments::ScalingTable& table) {
-  report::CsvWriter csv({"placement", "threads", "class", "speedup",
-                         "parallel_efficiency"});
-  for (std::size_t i = 0; i < table.thread_counts.size(); ++i) {
-    for (const auto g : core::all_groups) {
-      const auto& cell = table.cells.at(g)[i];
-      csv.add_row({std::string(machine::to_string(table.placement)),
-                   std::to_string(table.thread_counts[i]),
-                   std::string(core::to_string(g)),
-                   report::Table::num(cell.speedup, 3),
-                   report::Table::num(cell.parallel_efficiency, 3)});
-    }
-  }
-  return csv;
+  return check::scaling_csv(table);
 }
 
 inline void write_scaling_csv(const std::string& path,

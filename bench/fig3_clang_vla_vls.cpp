@@ -28,18 +28,7 @@ int main(int argc, char** argv) {
   std::cout << t.render() << "\n";
 
   if (opt.csv_dir) {
-    sgp::report::CsvWriter csv({"kernel", "clang_vla", "clang_vls",
-                                "gcc_vectorizes", "gcc_runtime_scalar",
-                                "clang_vectorizes", "paper_named"});
-    for (const auto& r : rows) {
-      csv.add_row({r.kernel, sgp::report::Table::num(r.clang_vla, 4),
-                   sgp::report::Table::num(r.clang_vls, 4),
-                   r.gcc_vectorizes ? "1" : "0",
-                   r.gcc_runtime_scalar ? "1" : "0",
-                   r.clang_vectorizes ? "1" : "0",
-                   r.paper_named ? "1" : "0"});
-    }
-    csv.write(*opt.csv_dir + "/fig3.csv");
+    sgp::check::fig3_csv(rows).write(*opt.csv_dir + "/fig3.csv");
   }
   if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;

@@ -24,18 +24,7 @@ int main(int argc, char** argv) {
   std::cout << t.render() << "\n";
 
   if (opt.csv_dir) {
-    sgp::report::CsvWriter csv({"cpu", "clock_ghz", "cores", "vector_isa",
-                                "vector_bits", "fp64_vector",
-                                "numa_regions", "mem_bw_gbs"});
-    for (const auto& m : machines) {
-      const auto& v = *m.core.vector;
-      csv.add_row({m.name, sgp::report::Table::num(m.core.clock_ghz, 2),
-                   std::to_string(m.num_cores), v.isa,
-                   std::to_string(v.width_bits), v.fp64 ? "1" : "0",
-                   std::to_string(m.numa.size()),
-                   sgp::report::Table::num(m.total_mem_bw_gbs(), 1)});
-    }
-    csv.write(*opt.csv_dir + "/tab4.csv");
+    sgp::check::tab4_csv().write(*opt.csv_dir + "/tab4.csv");
   }
   if (opt.perf) sgp::bench::print_perf(std::cout, eng.counters());
   return 0;

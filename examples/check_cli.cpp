@@ -1,0 +1,216 @@
+// Cross-model validation oracle (`ctest -L check` runs this):
+//   1. replays the invariant checker over every paper machine, all 64
+//      kernel signatures and a standard config grid;
+//   2. optionally fuzzes the same invariants over random machines;
+//   3. re-executes every figure/table pipeline through the sweep engine
+//      twice — forced-serial and parallel — and requires byte-identical
+//      CSV artifacts;
+//   4. diffs the serial artifacts against the pinned goldens under
+//      tests/golden/ with per-column tolerances, reporting the first
+//      divergent cell.
+//
+//   ./check_cli [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]
+//               [--jobs <n>] [--skip-invariants]
+//
+// Exit codes: 0 = all checks pass, 1 = violations or divergences,
+// 64 = usage error (matching the suite/bench CLI conventions).
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/artifacts.hpp"
+#include "check/fuzz.hpp"
+#include "check/golden.hpp"
+#include "check/invariants.hpp"
+#include "engine/engine.hpp"
+#include "kernels/register_all.hpp"
+#include "machine/descriptor.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+struct Options {
+  std::optional<std::string> golden_dir;
+  std::optional<std::string> write_golden_dir;
+  unsigned fuzz_seeds = 0;
+  int jobs = 0;  ///< parallel engine workers; 0 = one per hw thread
+  bool skip_invariants = false;
+};
+
+[[noreturn]] void usage_error(const char* argv0, const std::string& what) {
+  std::cerr << argv0 << ": " << what << "\n"
+            << "usage: " << argv0
+            << " [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]"
+               " [--jobs <n>] [--skip-invariants]\n";
+  std::exit(64);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(argv[0], "missing value for " + arg);
+      return argv[++i];
+    };
+    auto number = [&](const std::string& v) -> long {
+      try {
+        std::size_t used = 0;
+        const long n = std::stol(v, &used);
+        if (used != v.size() || n < 0) throw std::invalid_argument(v);
+        return n;
+      } catch (const std::exception&) {
+        usage_error(argv[0], "bad value '" + v + "' for " + arg);
+      }
+    };
+    if (arg == "--golden") {
+      opt.golden_dir = value();
+    } else if (arg == "--write-golden") {
+      opt.write_golden_dir = value();
+    } else if (arg == "--fuzz") {
+      opt.fuzz_seeds = static_cast<unsigned>(number(value()));
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<int>(number(value()));
+    } else if (arg == "--skip-invariants") {
+      opt.skip_invariants = true;
+    } else {
+      usage_error(argv[0], "unknown flag '" + arg + "'");
+    }
+  }
+  return opt;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void print_violations(const sgp::check::CheckReport& report,
+                      std::size_t limit = 10) {
+  for (std::size_t i = 0; i < report.violations.size() && i < limit; ++i) {
+    std::cout << "  VIOLATION: " << to_string(report.violations[i]) << "\n";
+  }
+  if (report.violations.size() > limit) {
+    std::cout << "  ... and " << report.violations.size() - limit
+              << " more\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgp;
+  const Options opt = parse_args(argc, argv);
+  bool failed = false;
+
+  // Regeneration mode: render every pipeline on a forced-serial engine
+  // and pin the result. No checks run.
+  if (opt.write_golden_dir) {
+    engine::SweepEngine eng(engine::EngineOptions{1, true});
+    for (const auto& a : check::run_all_artifacts(eng)) {
+      const std::string path = *opt.write_golden_dir + "/" + a.name + ".csv";
+      a.csv.write(path);
+      std::cout << "wrote " << path << "\n";
+    }
+    return 0;
+  }
+
+  // 1. Invariants over the paper machines.
+  if (!opt.skip_invariants) {
+    const auto sigs = kernels::all_signatures();
+    for (const auto& m : machine::all_machines()) {
+      const auto report = check::check_machine(m, sigs);
+      std::cout << "invariants " << m.name << ": " << report.points
+                << " points, " << report.violations.size()
+                << " violations\n";
+      if (!report.ok()) {
+        failed = true;
+        print_violations(report);
+      }
+    }
+  }
+
+  // 2. Fuzzing over random machines (scalar floor off; see check/fuzz).
+  if (opt.fuzz_seeds > 0) {
+    const auto report = check::fuzz_invariants(1000, opt.fuzz_seeds);
+    std::cout << "fuzz over " << opt.fuzz_seeds << " random machines: "
+              << report.points << " points, " << report.violations.size()
+              << " violations\n";
+    if (!report.ok()) {
+      failed = true;
+      print_violations(report);
+    }
+  }
+
+  // 3 + 4. Pipelines: serial vs parallel byte-identity, then the golden
+  // differential. Two private engines so the comparison cannot share a
+  // memo cache with anything else in the process.
+  {
+    engine::SweepEngine serial(engine::EngineOptions{1, true});
+    engine::SweepEngine parallel(engine::EngineOptions{opt.jobs, true});
+    const auto serial_artifacts = check::run_all_artifacts(serial);
+    const auto parallel_artifacts = check::run_all_artifacts(parallel);
+
+    for (std::size_t i = 0; i < serial_artifacts.size(); ++i) {
+      const auto& s = serial_artifacts[i];
+      const auto& p = parallel_artifacts[i];
+      if (s.csv.text() != p.csv.text()) {
+        failed = true;
+        const auto diff = check::diff_csv(s.csv.text(), p.csv.text());
+        std::cout << "DIVERGENCE " << s.name
+                  << ": serial and parallel engine outputs differ";
+        if (diff) std::cout << " — " << to_string(*diff);
+        std::cout << "\n";
+      }
+    }
+    std::cout << "serial/parallel identity: " << serial_artifacts.size()
+              << " artifacts compared\n";
+
+    if (opt.golden_dir) {
+      for (const auto& a : serial_artifacts) {
+        const std::string path = *opt.golden_dir + "/" + a.name + ".csv";
+        const auto golden = read_file(path);
+        if (!golden) {
+          failed = true;
+          std::cout << "DIVERGENCE " << a.name << ": missing golden "
+                    << path << "\n";
+          continue;
+        }
+        if (const auto diff =
+                check::diff_csv(*golden, a.csv.text(), a.policy)) {
+          failed = true;
+          std::cout << "DIVERGENCE " << a.name << " vs " << path << ": "
+                    << to_string(*diff) << "\n";
+        }
+      }
+      std::cout << "golden diff: " << serial_artifacts.size()
+                << " artifacts checked against " << *opt.golden_dir
+                << "\n";
+    }
+  }
+
+  // Per-check metrics summary from the obs registry.
+  {
+    const auto snap = obs::registry().snapshot();
+    std::uint64_t points = 0, violations = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("check.", 0) != 0) continue;
+      if (name.size() > 7 && name.compare(name.size() - 7, 7, ".points") == 0) {
+        points += value;
+      } else {
+        violations += value;
+      }
+    }
+    std::cout << "check metrics: " << points << " points, " << violations
+              << " violations recorded\n";
+  }
+
+  std::cout << (failed ? "FAIL" : "OK") << "\n";
+  return failed ? 1 : 0;
+}

@@ -52,7 +52,14 @@ int main(int argc, char** argv) {
             << report::Table::num(model.stream_bw_gbs, 1) << " GB/s\n";
   std::cout << "  FP32 ridge point: "
             << report::Table::num(model.ridge_intensity_fp32, 2)
-            << " FLOP/byte\n\n";
+            << " FLOP/byte\n";
+  std::cout << "  FP64 ridge point: "
+            << report::Table::num(model.ridge_intensity_fp64, 2)
+            << " FLOP/byte"
+            << (model.ridge_intensity_fp64 < model.ridge_intensity_fp32
+                    ? "  (kernels turn compute-bound sooner at FP64)"
+                    : "")
+            << "\n\n";
 
   sim::SimConfig cfg;
   cfg.precision = prec;

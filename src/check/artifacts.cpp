@@ -1,0 +1,186 @@
+#include "check/artifacts.hpp"
+
+#include <stdexcept>
+
+#include "engine/engine.hpp"
+#include "report/table.hpp"
+
+namespace sgp::check {
+
+namespace {
+
+/// Numeric value columns tolerate one last-printed-digit flip (the
+/// renderings use 2-4 fixed decimals, so an ulp-level difference in the
+/// model output can move the final digit by one); identity columns
+/// (names, flags, counts) must match exactly.
+CellTolerance value_tol() { return CellTolerance{2e-3, 1e-6}; }
+
+GoldenPolicy series_policy() {
+  GoldenPolicy p;
+  for (const char* col : {"mean", "min", "max"}) {
+    p.columns[col] = value_tol();
+  }
+  return p;
+}
+
+GoldenPolicy scaling_policy() {
+  GoldenPolicy p;
+  p.columns["speedup"] = value_tol();
+  p.columns["parallel_efficiency"] = value_tol();
+  return p;
+}
+
+GoldenPolicy fig3_policy() {
+  GoldenPolicy p;
+  p.columns["clang_vla"] = value_tol();
+  p.columns["clang_vls"] = value_tol();
+  return p;
+}
+
+GoldenPolicy tab4_policy() {
+  GoldenPolicy p;
+  p.columns["clock_ghz"] = value_tol();
+  p.columns["mem_bw_gbs"] = value_tol();
+  return p;
+}
+
+}  // namespace
+
+report::CsvWriter series_csv(
+    const std::vector<experiments::RatioSeries>& s) {
+  report::CsvWriter csv({"series", "class", "mean", "min", "max",
+                         "kernels"});
+  for (const auto& series : s) {
+    for (const auto& g : series.groups) {
+      csv.add_row({series.label, std::string(core::to_string(g.group)),
+                   report::Table::num(g.mean, 4),
+                   report::Table::num(g.min, 4),
+                   report::Table::num(g.max, 4),
+                   std::to_string(g.kernels)});
+    }
+  }
+  return csv;
+}
+
+report::CsvWriter scaling_csv(const experiments::ScalingTable& table) {
+  report::CsvWriter csv({"placement", "threads", "class", "speedup",
+                         "parallel_efficiency"});
+  for (std::size_t i = 0; i < table.thread_counts.size(); ++i) {
+    for (const auto g : core::all_groups) {
+      const auto& cell = table.cells.at(g)[i];
+      csv.add_row({std::string(machine::to_string(table.placement)),
+                   std::to_string(table.thread_counts[i]),
+                   std::string(core::to_string(g)),
+                   report::Table::num(cell.speedup, 3),
+                   report::Table::num(cell.parallel_efficiency, 3)});
+    }
+  }
+  return csv;
+}
+
+report::CsvWriter fig3_csv(const std::vector<experiments::Fig3Row>& rows) {
+  report::CsvWriter csv({"kernel", "clang_vla", "clang_vls",
+                         "gcc_vectorizes", "gcc_runtime_scalar",
+                         "clang_vectorizes", "paper_named"});
+  for (const auto& r : rows) {
+    csv.add_row({r.kernel, report::Table::num(r.clang_vla, 4),
+                 report::Table::num(r.clang_vls, 4),
+                 r.gcc_vectorizes ? "1" : "0",
+                 r.gcc_runtime_scalar ? "1" : "0",
+                 r.clang_vectorizes ? "1" : "0",
+                 r.paper_named ? "1" : "0"});
+  }
+  return csv;
+}
+
+report::CsvWriter tab4_csv() {
+  report::CsvWriter csv({"cpu", "clock_ghz", "cores", "vector_isa",
+                         "vector_bits", "fp64_vector", "numa_regions",
+                         "mem_bw_gbs"});
+  for (const auto& m : machine::x86_machines()) {
+    const auto& v = *m.core.vector;
+    csv.add_row({m.name, report::Table::num(m.core.clock_ghz, 2),
+                 std::to_string(m.num_cores), v.isa,
+                 std::to_string(v.width_bits), v.fp64 ? "1" : "0",
+                 std::to_string(m.numa.size()),
+                 report::Table::num(m.total_mem_bw_gbs(), 1)});
+  }
+  return csv;
+}
+
+const std::vector<std::string>& artifact_names() {
+  static const std::vector<std::string> names{
+      "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+      "fig7", "tab1", "tab2", "tab3", "tab4"};
+  return names;
+}
+
+Artifact run_artifact(const std::string& name, engine::SweepEngine& eng) {
+  using core::Precision;
+  using machine::Placement;
+  if (name == "fig1") {
+    return {name, series_csv(experiments::figure1(eng)), series_policy()};
+  }
+  if (name == "fig2") {
+    return {name, series_csv(experiments::figure2(eng)), series_policy()};
+  }
+  if (name == "fig3") {
+    return {name, fig3_csv(experiments::figure3(eng)), fig3_policy()};
+  }
+  if (name == "fig4") {
+    return {name,
+            series_csv(experiments::x86_comparison(Precision::FP64, false,
+                                                   eng)),
+            series_policy()};
+  }
+  if (name == "fig5") {
+    return {name,
+            series_csv(experiments::x86_comparison(Precision::FP32, false,
+                                                   eng)),
+            series_policy()};
+  }
+  if (name == "fig6") {
+    return {name,
+            series_csv(experiments::x86_comparison(Precision::FP64, true,
+                                                   eng)),
+            series_policy()};
+  }
+  if (name == "fig7") {
+    return {name,
+            series_csv(experiments::x86_comparison(Precision::FP32, true,
+                                                   eng)),
+            series_policy()};
+  }
+  if (name == "tab1") {
+    return {name, scaling_csv(experiments::scaling_table(Placement::Block,
+                                                         eng)),
+            scaling_policy()};
+  }
+  if (name == "tab2") {
+    return {name,
+            scaling_csv(
+                experiments::scaling_table(Placement::CyclicNuma, eng)),
+            scaling_policy()};
+  }
+  if (name == "tab3") {
+    return {name,
+            scaling_csv(
+                experiments::scaling_table(Placement::ClusterCyclic, eng)),
+            scaling_policy()};
+  }
+  if (name == "tab4") {
+    return {name, tab4_csv(), tab4_policy()};
+  }
+  throw std::invalid_argument("run_artifact: unknown artifact " + name);
+}
+
+std::vector<Artifact> run_all_artifacts(engine::SweepEngine& eng) {
+  std::vector<Artifact> out;
+  out.reserve(artifact_names().size());
+  for (const auto& name : artifact_names()) {
+    out.push_back(run_artifact(name, eng));
+  }
+  return out;
+}
+
+}  // namespace sgp::check

@@ -1,0 +1,57 @@
+// The figure/table pipelines rendered to their canonical CSV artifacts.
+// One registry serves three callers: the bench binaries' --csv output
+// (bench_common delegates here, so the files users plot ARE the checked
+// format), the golden fixtures under tests/golden/, and check_cli's
+// serial-vs-parallel and golden differential runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/golden.hpp"
+#include "experiments/experiments.hpp"
+#include "report/csv.hpp"
+
+namespace sgp::engine {
+class SweepEngine;
+}
+
+namespace sgp::check {
+
+// ---- CSV renderings (shared with bench/bench_common.hpp) -------------
+/// Figure series set as long-format CSV:
+/// series,class,mean,min,max,kernels.
+report::CsvWriter series_csv(
+    const std::vector<experiments::RatioSeries>& s);
+
+/// Scaling table as CSV: placement,threads,class,speedup,
+/// parallel_efficiency.
+report::CsvWriter scaling_csv(const experiments::ScalingTable& table);
+
+/// Figure 3 rows as CSV: kernel,clang_vla,clang_vls,gcc_vectorizes,
+/// gcc_runtime_scalar,clang_vectorizes,paper_named.
+report::CsvWriter fig3_csv(const std::vector<experiments::Fig3Row>& rows);
+
+/// Table 4 (x86 hardware summary) as CSV.
+report::CsvWriter tab4_csv();
+
+// ---- Registry --------------------------------------------------------
+/// One pipeline's rendered output plus the tolerance policy its golden
+/// is compared under.
+struct Artifact {
+  std::string name;  ///< golden file stem: "fig1" ... "tab4"
+  report::CsvWriter csv;
+  GoldenPolicy policy;
+};
+
+/// The fixed artifact order: fig1..fig7 then tab1..tab4.
+const std::vector<std::string>& artifact_names();
+
+/// Runs one named pipeline on `eng` and renders it. Throws
+/// std::invalid_argument for an unknown name.
+Artifact run_artifact(const std::string& name, engine::SweepEngine& eng);
+
+/// All artifacts in artifact_names() order.
+std::vector<Artifact> run_all_artifacts(engine::SweepEngine& eng);
+
+}  // namespace sgp::check

@@ -1,0 +1,142 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "kernels/register_all.hpp"
+#include "machine/placement.hpp"
+
+namespace sgp::check {
+
+machine::MachineDescriptor random_machine(unsigned seed) {
+  std::mt19937 rng(seed);
+  auto uniform = [&rng](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+  auto pick = [&rng](std::initializer_list<int> opts) {
+    std::vector<int> v(opts);
+    return v[std::uniform_int_distribution<std::size_t>(0, v.size() - 1)(
+        rng)];
+  };
+
+  machine::MachineDescriptor m;
+  m.name = "random-" + std::to_string(seed);
+
+  const int cluster_width = pick({1, 2, 4});
+  const int clusters_per_region = pick({1, 2, 4});
+  const int regions = pick({1, 2, 4});
+  const int cores_per_region = cluster_width * clusters_per_region;
+  m.num_cores = cores_per_region * regions;
+
+  machine::CoreSpec c;
+  c.clock_ghz = uniform(0.8, 4.0);
+  c.decode_width = pick({2, 3, 4, 5});
+  c.issue_width = c.decode_width * 2;
+  c.out_of_order = pick({0, 1}) != 0;
+  c.fp_pipes = pick({1, 2});
+  c.fma = pick({0, 1}) != 0;
+  c.mem_ports = pick({1, 2, 3});
+  c.scalar_eff = uniform(0.1, 0.9);
+  c.stream_bw_gbs = uniform(0.5, 25.0);
+  c.scalar_stream_derate = uniform(0.3, 1.0);
+  if (pick({0, 1}) != 0) {
+    machine::VectorUnit v;
+    v.isa = "RVV v0.7.1";
+    v.width_bits = pick({128, 256, 512});
+    v.fp32 = true;
+    v.fp64 = pick({0, 1}) != 0;
+    v.efficiency_fp32 = uniform(0.2, 0.9);
+    v.efficiency_fp64 = v.fp64 ? uniform(0.2, 0.9) : 0.0;
+    c.vector = v;
+  }
+  m.core = c;
+
+  m.l1d = machine::CacheSpec{
+      static_cast<std::size_t>(pick({16, 32, 64})) * 1024, 64, 1, 32.0,
+      4.0};
+  m.l2 = machine::CacheSpec{
+      static_cast<std::size_t>(pick({256, 512, 1024, 2048})) * 1024, 64,
+      cluster_width, 24.0, 16.0};
+  if (pick({0, 1}) != 0) {
+    m.l3 = machine::CacheSpec{
+        static_cast<std::size_t>(pick({4, 16, 64})) * 1024 * 1024, 64,
+        m.num_cores, uniform(20.0, 200.0), 60.0};
+    m.l3_memory_side = pick({0, 1}) != 0;
+  } else {
+    m.l3 = machine::CacheSpec{};
+  }
+
+  for (int r = 0; r < regions; ++r) {
+    machine::NumaRegion region;
+    for (int i = 0; i < cores_per_region; ++i) {
+      region.cores.push_back(r * cores_per_region + i);
+    }
+    region.controllers = 1;
+    region.mem_bw_gbs = uniform(2.0, 60.0);
+    m.numa.push_back(region);
+  }
+  for (int base = 0; base < m.num_cores; base += cluster_width) {
+    std::vector<int> cl;
+    for (int i = 0; i < cluster_width; ++i) cl.push_back(base + i);
+    m.clusters.push_back(cl);
+  }
+
+  m.cluster_bw_gbs = pick({0, 1}) != 0 ? uniform(1.0, 20.0) : 0.0;
+  m.fork_join_us = uniform(0.5, 10.0);
+  m.barrier_us_per_thread = uniform(0.01, 1.0);
+  m.numa_span_sync_factor = uniform(1.0, 1.5);
+  m.oversubscribe_gamma = uniform(0.0, 1.0);
+  m.oversubscribe_knee =
+      pick({0, 1}) != 0 ? 0.0 : cores_per_region / 2.0;
+  m.atomic_rtt_ns = uniform(20.0, 150.0);
+  return m;
+}
+
+CheckReport fuzz_invariants(unsigned first_seed, unsigned num_seeds,
+                            const FuzzOptions& opt) {
+  std::vector<core::KernelSignature> sigs;
+  for (const auto& name : opt.kernels) {
+    bool found = false;
+    for (const auto& s : kernels::all_signatures()) {
+      if (s.name == name) {
+        sigs.push_back(s);
+        found = true;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("fuzz_invariants: unknown kernel " + name);
+    }
+  }
+
+  CheckReport report;
+  for (unsigned seed = first_seed; seed < first_seed + num_seeds; ++seed) {
+    const auto m = random_machine(seed);
+    const InvariantChecker checker(m, opt.check);
+
+    const int n = m.num_cores;
+    std::vector<int> thread_grid{1, std::max(1, n / 2), n};
+    std::sort(thread_grid.begin(), thread_grid.end());
+    thread_grid.erase(
+        std::unique(thread_grid.begin(), thread_grid.end()),
+        thread_grid.end());
+
+    for (const auto& sig : sigs) {
+      for (const auto prec : core::all_precisions) {
+        for (const auto placement : machine::all_placements) {
+          sim::SimConfig cfg;
+          cfg.precision = prec;
+          cfg.placement = placement;
+          for (const int t : thread_grid) {
+            cfg.nthreads = t;
+            checker.check_point(sig, cfg, report);
+          }
+          checker.check_thread_monotonicity(sig, cfg, thread_grid, report);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sgp::check

@@ -1,0 +1,37 @@
+// Property-based fuzzing of the model invariants: random-but-valid
+// machine descriptors (the generator that started life in
+// tests/random_machines_test.cpp, now a library so the check CLI and
+// the tests share it) replayed through the InvariantChecker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "machine/descriptor.hpp"
+
+namespace sgp::check {
+
+struct FuzzOptions {
+  FuzzOptions() {
+    // The scalar floor is a calibration property of the paper machines:
+    // a random descriptor may pair a strong scalar core with a weak
+    // vector unit, making the vector path legitimately slower.
+    check.scalar_floor = false;
+  }
+
+  CheckOptions check;
+  /// Representative kernels: bandwidth-bound, compute-bound, reduction.
+  std::vector<std::string> kernels{"TRIAD", "GEMM", "DOT"};
+};
+
+/// Deterministic random-but-valid machine descriptor for `seed`.
+machine::MachineDescriptor random_machine(unsigned seed);
+
+/// Replays the single-point and thread-monotonicity invariants over
+/// `num_seeds` random machines starting at `first_seed`, across both
+/// precisions, all placements, and serial/half/full thread counts.
+CheckReport fuzz_invariants(unsigned first_seed, unsigned num_seeds,
+                            const FuzzOptions& opt = {});
+
+}  // namespace sgp::check

@@ -1,0 +1,148 @@
+#include "check/golden.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace sgp::check {
+
+namespace {
+
+std::optional<double> parse_number(const std::string& cell) {
+  if (cell.empty()) return std::nullopt;
+  double v = 0.0;
+  const char* first = cell.data();
+  const char* last = first + cell.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return v;
+}
+
+bool cells_match(const std::string& expected, const std::string& actual,
+                 const CellTolerance& tol) {
+  if (expected == actual) return true;
+  const auto e = parse_number(expected);
+  const auto a = parse_number(actual);
+  if (!e || !a) return false;
+  return std::abs(*a - *e) <= tol.abs_tol + tol.rel_tol * std::abs(*e);
+}
+
+}  // namespace
+
+std::string to_string(const CellDiff& d) {
+  std::ostringstream os;
+  os << d.reason << " at row " << d.row << ", column " << d.col;
+  if (!d.column.empty()) os << " (" << d.column << ")";
+  os << ": expected \"" << d.expected << "\", got \"" << d.actual << "\"";
+  return os.str();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  bool row_started = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(ch);
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        quoted = true;
+        row_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(cell));
+        cell.clear();
+        row_started = true;
+        break;
+      case '\n':
+        if (row_started || !cell.empty()) {
+          row.push_back(std::move(cell));
+          cell.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_started = false;
+        }
+        break;
+      case '\r':
+        // CRLF line endings: the '\n' case finishes the row.
+        break;
+      default:
+        cell.push_back(ch);
+        row_started = true;
+        break;
+    }
+  }
+  if (row_started || !cell.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::optional<CellDiff> diff_csv(const std::string& golden,
+                                 const std::string& actual,
+                                 const GoldenPolicy& policy) {
+  const auto want = parse_csv(golden);
+  const auto got = parse_csv(actual);
+
+  if (want.empty() || got.empty()) {
+    if (want.empty() && got.empty()) return std::nullopt;
+    return CellDiff{0, 0, "",
+                    std::to_string(want.size()) + " rows",
+                    std::to_string(got.size()) + " rows", "empty file"};
+  }
+
+  const auto& header = want.front();
+  for (std::size_t c = 0; c < std::max(header.size(), got.front().size());
+       ++c) {
+    const std::string e = c < header.size() ? header[c] : "<missing>";
+    const std::string a = c < got.front().size() ? got.front()[c]
+                                                 : "<missing>";
+    if (e != a) return CellDiff{0, c, e, e, a, "header mismatch"};
+  }
+
+  if (want.size() != got.size()) {
+    return CellDiff{std::min(want.size(), got.size()) - 1, 0, "",
+                    std::to_string(want.size() - 1) + " data rows",
+                    std::to_string(got.size() - 1) + " data rows",
+                    "row count"};
+  }
+
+  for (std::size_t r = 1; r < want.size(); ++r) {
+    const auto& wrow = want[r];
+    const auto& grow = got[r];
+    for (std::size_t c = 0; c < std::max(wrow.size(), grow.size()); ++c) {
+      const std::string column = c < header.size() ? header[c] : "";
+      if (c >= wrow.size() || c >= grow.size()) {
+        return CellDiff{r - 1, c, column,
+                        c < wrow.size() ? wrow[c] : "<missing>",
+                        c < grow.size() ? grow[c] : "<missing>",
+                        "cell count"};
+      }
+      const auto it = policy.columns.find(column);
+      const CellTolerance tol =
+          it != policy.columns.end() ? it->second : policy.default_tol;
+      if (!cells_match(wrow[c], grow[c], tol)) {
+        return CellDiff{r - 1, c, column, wrow[c], grow[c], "cell value"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sgp::check

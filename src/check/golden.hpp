@@ -1,0 +1,53 @@
+// Golden-CSV differ for the figure/table pipelines: parses two CSV
+// texts, compares them cell by cell under per-column tolerances, and
+// reports the first divergent cell in a form a human can act on.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sgp::check {
+
+/// Absolute/relative tolerance pair: cells pass when
+/// |actual - expected| <= abs_tol + rel_tol * |expected|. Applied only
+/// when both cells parse fully as numbers; otherwise exact match.
+struct CellTolerance {
+  double abs_tol = 0.0;
+  double rel_tol = 0.0;
+};
+
+struct GoldenPolicy {
+  /// Tolerance for numeric columns not listed in `columns`.
+  CellTolerance default_tol;
+  /// Per-column (by header name) overrides.
+  std::map<std::string, CellTolerance> columns;
+};
+
+/// The first point where actual diverges from golden.
+struct CellDiff {
+  std::size_t row = 0;  ///< 0-based data row; header mismatches use 0
+  std::size_t col = 0;
+  std::string column;  ///< header name when known
+  std::string expected;
+  std::string actual;
+  std::string reason;  ///< "header mismatch", "row count", "cell value"
+};
+
+std::string to_string(const CellDiff& d);
+
+/// RFC-4180-ish parser: comma-separated, double-quote escaping, quoted
+/// cells may contain commas, doubled quotes and newlines. Returns rows
+/// of cells; the trailing newline does not produce an empty row.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+/// First divergence between two CSV texts under a policy, or nullopt
+/// when they match everywhere within tolerance.
+std::optional<CellDiff> diff_csv(const std::string& golden,
+                                 const std::string& actual,
+                                 const GoldenPolicy& policy = {});
+
+}  // namespace sgp::check

@@ -1,0 +1,121 @@
+// Cross-model differential validation: the roofline closed form, the
+// event-driven cache simulator and sim::Simulator are three independent
+// routes to the same numbers, and the invariants here tie them together
+// so a bug in any one model trips a check instead of silently skewing
+// every figure and table.
+//
+// Each invariant only asserts what is *structural* in the models (holds
+// for every valid descriptor, not just the paper's calibrated seven):
+//   * breakdown-consistency: total_s == max(compute, memory)+sync+atomic;
+//   * roofline-compute-bound: total time is bounded below by
+//     flops / (roofline compute ceiling x threads). Skipped for
+//     integer-dominated kernels, whose vector path prices FP at zero;
+//   * roofline-bandwidth-bound: when the analytic model says DRAM serves
+//     the working set, total time is bounded below by
+//     streamed bytes / (single-core stream bandwidth x threads) — every
+//     bandwidth term in the memory model only derates from that peak;
+//   * scalar-floor: the executed code path is never more than
+//     scalar_floor_slack slower than forcing VectorMode::Scalar. This
+//     one is a *calibration* property (a descriptor with a weak vector
+//     unit can violate it legitimately), so it is optional and the fuzz
+//     driver over random machines turns it off;
+//   * reps-linearity: doubling reps exactly doubles every component;
+//   * size-monotonicity: scaling iterations and working set together by
+//     size_scale never reduces total time;
+//   * thread-monotonicity: compute_s never rises and sync_s never falls
+//     as threads are added (total_s may rise — the paper's 32-beats-64
+//     oversubscription knee is a feature, not a bug);
+//   * cachesim-consistency: replaying synthetic traces on the
+//     set-associative simulator agrees with the analytic serving-level
+//     decision and DRAM traffic term.
+//
+// Per-check metrics land in the obs registry as check.<invariant>.points
+// and check.<invariant>.violations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "machine/descriptor.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+
+namespace sgp::check {
+
+struct CheckOptions {
+  /// Relative slack on bounds that are exact in the model; guards
+  /// floating-point rounding only.
+  double rel_tol = 1e-6;
+  /// Allowed overshoot of the scalar floor (matches the calibration
+  /// headroom sim_properties_test grants the paper machines).
+  double scalar_floor_slack = 0.05;
+  /// See the header comment: structural for the paper's machines, not
+  /// for arbitrary descriptors.
+  bool scalar_floor = true;
+  /// Iteration/working-set factor for size-monotonicity. Must exceed
+  /// the largest bandwidth ratio between two adjacent serving levels
+  /// (<= ~4x across modelled descriptors), or a cache-level transition
+  /// could mask the extra work.
+  double size_scale = 8.0;
+};
+
+struct Violation {
+  std::string invariant;  ///< e.g. "roofline-compute-bound"
+  std::string machine;
+  std::string kernel;
+  std::string where;   ///< config rendering (precision/threads/placement)
+  std::string detail;  ///< the violated inequality, with numbers
+};
+
+std::string to_string(const Violation& v);
+
+struct CheckReport {
+  std::uint64_t points = 0;  ///< individual invariant evaluations
+  std::vector<Violation> violations;
+
+  bool ok() const noexcept { return violations.empty(); }
+  void merge(CheckReport other);
+};
+
+/// Runs the invariants against one machine. Owns the Simulator (and
+/// thereby validates the descriptor on construction).
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(machine::MachineDescriptor m,
+                            CheckOptions opt = {});
+
+  const machine::MachineDescriptor& machine() const noexcept {
+    return sim_.machine();
+  }
+
+  /// All single-point invariants for one (kernel, config).
+  void check_point(const core::KernelSignature& sig,
+                   const sim::SimConfig& cfg, CheckReport& report) const;
+
+  /// compute_s never rises and sync_s never falls along increasing
+  /// thread counts (all other cfg fields held fixed).
+  void check_thread_monotonicity(const core::KernelSignature& sig,
+                                 const sim::SimConfig& base,
+                                 std::vector<int> thread_counts,
+                                 CheckReport& report) const;
+
+  /// Replays synthetic traces through cachesim and checks the analytic
+  /// serving level and DRAM traffic term agree with the simulated
+  /// hierarchy (an L1-resident case and a DRAM-streaming case).
+  void check_cachesim_consistency(CheckReport& report) const;
+
+ private:
+  sim::Simulator sim_;
+  CheckOptions opt_;
+};
+
+/// Every invariant for one machine over the given kernels at a standard
+/// config grid (both precisions; serial, half and full threads; the
+/// three placements at full width), plus the cachesim consistency pass.
+CheckReport check_machine(const machine::MachineDescriptor& m,
+                          const std::vector<core::KernelSignature>& sigs,
+                          const CheckOptions& opt = {});
+
+}  // namespace sgp::check

@@ -36,12 +36,11 @@ std::vector<int> cluster_cyclic_order(const MachineDescriptor& m,
   // Position of each cluster inside its block, in first-core order.
   std::map<int, int> cluster_pos;  // cluster idx -> position
   {
-    std::map<std::pair<int, int>, int> next_pos;  // (block) -> counter
+    std::map<int, int> next_pos;  // block -> counter
     for (int c : region_cores) {
       const int cl = m.cluster_of_core(c);
       if (cluster_pos.find(cl) == cluster_pos.end()) {
-        const int b = block_of[c];
-        cluster_pos[cl] = next_pos[{b, 0}]++;
+        cluster_pos[cl] = next_pos[block_of[c]]++;
       }
     }
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace sgp::report {
 
@@ -20,9 +22,11 @@ double geometric_mean(std::span<const double> values) {
     throw std::invalid_argument("geometric_mean: empty input");
   }
   double logsum = 0.0;
-  for (double v : values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
     if (v <= 0.0) {
-      throw std::invalid_argument("geometric_mean: non-positive value");
+      throw std::invalid_argument(
+          "geometric_mean: non-positive value at index " + std::to_string(i));
     }
     logsum += std::log(v);
   }
@@ -32,7 +36,15 @@ double geometric_mean(std::span<const double> values) {
 Summary summarize(std::span<const double> values) {
   Summary s;
   s.mean = arithmetic_mean(values);
-  s.geomean = geometric_mean(values);
+  // Skip-with-count policy for the geomean: a quarantined kernel reports
+  // a zero ratio, which must not abort aggregation of the whole suite.
+  std::vector<double> positive;
+  positive.reserve(values.size());
+  for (double v : values) {
+    if (v > 0.0) positive.push_back(v);
+  }
+  s.geomean = positive.empty() ? 0.0 : geometric_mean(positive);
+  s.geomean_excluded = values.size() - positive.size();
   s.min = *std::min_element(values.begin(), values.end());
   s.max = *std::max_element(values.begin(), values.end());
   s.count = values.size();

@@ -8,18 +8,25 @@ namespace sgp::report {
 
 struct Summary {
   double mean = 0.0;
+  /// Geometric mean of the strictly-positive values (0.0 if none are).
   double geomean = 0.0;
   double min = 0.0;
   double max = 0.0;
   std::size_t count = 0;
+  /// Values excluded from the geomean because they were <= 0 — e.g. the
+  /// zeroed ratio of a quarantined kernel. 0 == every value took part.
+  std::size_t geomean_excluded = 0;
 };
 
 /// Arithmetic + geometric mean and min/max of a non-empty series.
-/// Throws std::invalid_argument on empty input or, for the geomean, on
-/// non-positive values.
+/// Throws std::invalid_argument on empty input. Non-positive values are
+/// skipped for the geomean only and counted in `geomean_excluded`, so a
+/// single quarantined kernel cannot kill whole-suite aggregation.
 Summary summarize(std::span<const double> values);
 
 double arithmetic_mean(std::span<const double> values);
+/// Strict: throws std::invalid_argument naming the offending index when
+/// any value is non-positive (summarize applies the skip policy instead).
 double geometric_mean(std::span<const double> values);
 
 }  // namespace sgp::report

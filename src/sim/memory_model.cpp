@@ -17,6 +17,11 @@ double MemoryModel::knee(std::size_t region) const {
 
 double MemoryModel::region_peak_gbs(std::size_t region,
                                     SharedLevel level) const {
+  // Validated here rather than in each caller: the DRAM branch indexes
+  // m_.numa directly, so a bad region is UB without this check.
+  if (region >= m_.numa.size()) {
+    throw std::out_of_range("MemoryModel::region_peak_gbs: bad region");
+  }
   if (level == SharedLevel::Dram) return m_.numa[region].mem_bw_gbs;
   // Memory-side L3: the package cache's aggregate bandwidth is striped
   // across the NUMA regions' mesh slices.

@@ -33,9 +33,12 @@ class MemoryModel {
   /// Threads per region after which the derate kicks in.
   double knee(std::size_t region) const;
 
- private:
+  /// Peak bandwidth of one region's slice of the shared level, GB/s.
+  /// Throws std::out_of_range on a bad region index (both level paths —
+  /// the DRAM path reads m_.numa[region] directly).
   double region_peak_gbs(std::size_t region, SharedLevel level) const;
 
+ private:
   const machine::MachineDescriptor& m_;
 };
 

@@ -27,6 +27,7 @@ RooflineModel roofline_for(const machine::MachineDescriptor& m) {
   r.peak_vector_gflops_fp64 = vector_gflops(m, 64);
   r.stream_bw_gbs = m.core.stream_bw_gbs;
   r.ridge_intensity_fp32 = r.peak_vector_gflops_fp32 / r.stream_bw_gbs;
+  r.ridge_intensity_fp64 = r.peak_vector_gflops_fp64 / r.stream_bw_gbs;
   return r;
 }
 

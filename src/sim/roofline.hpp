@@ -34,6 +34,10 @@ struct RooflineModel {
   double stream_bw_gbs = 0.0;  ///< single-core sustained bandwidth
   /// Intensity where the vector FP32 roof meets the bandwidth slope.
   double ridge_intensity_fp32 = 0.0;
+  /// Same for FP64. Machines without an FP64 vector path (the SG2042's
+  /// XuanTie C920 runs RVV 0.7.1 FP32-only) ridge at the scalar peak,
+  /// far to the left of the FP32 ridge.
+  double ridge_intensity_fp64 = 0.0;
 };
 
 /// Single-core roofline of a machine.

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerate the pinned golden CSV artifacts under tests/golden/ from the
+# current model. Run this ONLY when a model change intentionally moves
+# figure/table numbers; review the diff like any other code change.
+#
+#   ./tests/golden/regenerate.sh [build-dir]
+#
+# The artifacts are rendered by examples/check_cli on a forced-serial
+# sweep engine, so the files are deterministic and byte-stable across
+# runs and thread counts (see docs/VALIDATION.md).
+set -eu
+build_dir=${1:-build}
+root=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+cli="$root/$build_dir/examples/check_cli"
+if [ ! -x "$cli" ]; then
+  echo "regenerate.sh: $cli not built (cmake --build $build_dir)" >&2
+  exit 1
+fi
+"$cli" --write-golden "$root/tests/golden"
+echo "Done. Inspect with: git diff tests/golden"

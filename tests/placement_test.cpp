@@ -90,6 +90,25 @@ TEST(PlacementSg2042, ClusterEightThreadsMatchesPaper) {
             (std::vector<int>{0, 8, 32, 40, 16, 24, 48, 56}));
 }
 
+TEST(PlacementSg2042, ClusterCyclicRegionOrdersMatchPaper) {
+  // The full-machine ClusterCyclic assignment round-robins the four
+  // regions, so region r's internal order is every fourth core starting
+  // at offset r. The paper documents region 0 as 0, 16, 4, 20, 1, 17,
+  // 5, 21, ... — alternating id blocks first, then distinct clusters.
+  const auto m = sg2042();
+  const auto cores = assign_cores(m, Placement::ClusterCyclic, 64);
+  ASSERT_EQ(cores.size(), 64u);
+  std::vector<int> region0, region1;
+  for (std::size_t i = 0; i < cores.size(); i += 4) {
+    region0.push_back(cores[i]);
+    region1.push_back(cores[i + 1]);
+  }
+  EXPECT_EQ(region0, (std::vector<int>{0, 16, 4, 20, 1, 17, 5, 21, 2, 18,
+                                       6, 22, 3, 19, 7, 23}));
+  EXPECT_EQ(region1, (std::vector<int>{8, 24, 12, 28, 9, 25, 13, 29, 10,
+                                       26, 14, 30, 11, 27, 15, 31}));
+}
+
 TEST(PlacementSg2042, ClusterSixteenThreadsUseDistinctClusters) {
   const auto m = sg2042();
   const auto cores = assign_cores(m, Placement::ClusterCyclic, 16);

@@ -46,6 +46,44 @@ TEST(Stats, GeomeanRejectsNonPositive) {
   EXPECT_THROW((void)geometric_mean(v), std::invalid_argument);
 }
 
+TEST(Stats, GeomeanErrorNamesOffendingIndex) {
+  const std::vector<double> v{2.0, 4.0, 0.0};
+  try {
+    (void)geometric_mean(v);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("index 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Stats, SummarizeSkipsNonPositiveForGeomean) {
+  // A quarantined kernel's zeroed ratio must not kill the whole-suite
+  // aggregate: the geomean skips it and reports the exclusion count.
+  const std::vector<double> v{4.0, 0.0, 16.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.geomean, 8.0);
+  EXPECT_EQ(s.geomean_excluded, 1u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 20.0 / 3.0);
+}
+
+TEST(Stats, SummarizeAllNonPositiveYieldsZeroGeomean) {
+  const std::vector<double> v{0.0, -2.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.geomean, 0.0);
+  EXPECT_EQ(s.geomean_excluded, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, -1.0);
+}
+
+TEST(Stats, SummarizeAllPositiveExcludesNothing) {
+  const std::vector<double> v{1.0, 4.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.geomean, 2.0);
+  EXPECT_EQ(s.geomean_excluded, 0u);
+}
+
 // ----------------------------------------------------- ratio encoding --
 TEST(Ratio, PaperAnchors) {
   EXPECT_DOUBLE_EQ(encode_ratio(1.0), 0.0);   // same speed

@@ -33,6 +33,25 @@ TEST(Roofline, RidgePointIsConsistent) {
               r.peak_vector_gflops_fp32, 1e-9);
 }
 
+TEST(Roofline, Sg2042RidgePointsMatchPaperNumbers) {
+  // RVV FP32 peak 12.8 GFLOP/s over 6 GB/s of stream bandwidth; FP64
+  // falls back to the 4 GFLOP/s scalar peak (no FP64 vector unit).
+  const auto r = roofline_for(machine::sg2042());
+  EXPECT_NEAR(r.ridge_intensity_fp32, 12.8 / 6.0, 1e-9);
+  EXPECT_NEAR(r.ridge_intensity_fp64, 4.0 / 6.0, 1e-9);
+  EXPECT_LT(r.ridge_intensity_fp64, r.ridge_intensity_fp32);
+}
+
+TEST(Roofline, Fp64RidgeIsConsistentOnEveryMachine) {
+  for (const auto& m : machine::all_machines()) {
+    const auto r = roofline_for(m);
+    EXPECT_NEAR(r.ridge_intensity_fp64 * r.stream_bw_gbs,
+                r.peak_vector_gflops_fp64, 1e-9)
+        << m.name;
+    EXPECT_GT(r.ridge_intensity_fp64, 0.0) << m.name;
+  }
+}
+
 TEST(Roofline, MachinesWithoutVectorFallBackToScalar) {
   const auto r = roofline_for(machine::visionfive_v2());
   EXPECT_DOUBLE_EQ(r.peak_vector_gflops_fp32, r.peak_scalar_gflops);

@@ -150,6 +150,22 @@ TEST(MemoryModel, MemorySideL3SlicesAcrossRegions) {
   EXPECT_GT(slice, 0.0);
 }
 
+TEST(MemoryModel, RegionPeakBoundsCheckedOnBothLevelPaths) {
+  // The DRAM path used to index m_.numa[region] unchecked: public misuse
+  // must throw out_of_range instead of reading past the array.
+  const auto m = machine::sg2042();
+  const MemoryModel mm(m);
+  EXPECT_THROW((void)mm.region_peak_gbs(4, SharedLevel::Dram),
+               std::out_of_range);
+  EXPECT_THROW((void)mm.region_peak_gbs(99, SharedLevel::MemorySideL3),
+               std::out_of_range);
+  EXPECT_THROW((void)mm.region_bandwidth_gbs(4, 1, SharedLevel::Dram),
+               std::out_of_range);
+  EXPECT_DOUBLE_EQ(mm.region_peak_gbs(0, SharedLevel::Dram),
+                   m.numa[0].mem_bw_gbs);
+  EXPECT_GT(mm.region_peak_gbs(3, SharedLevel::MemorySideL3), 0.0);
+}
+
 TEST(MemoryModel, DeratingAppliesToV1) {
   const auto v1 = machine::visionfive_v1();
   const auto v2 = machine::visionfive_v2();
