@@ -2,15 +2,22 @@
 //   1. replays the invariant checker over every paper machine, all 64
 //      kernel signatures and a standard config grid;
 //   2. optionally fuzzes the same invariants over random machines;
-//   3. re-executes every figure/table pipeline through the sweep engine
+//   3. asserts the streaming cachesim replay engine and the legacy
+//      vector path produce bit-identical statistics on every paper
+//      machine plus random fuzzed ones;
+//   4. re-executes every figure/table pipeline through the sweep engine
 //      twice — forced-serial and parallel — and requires byte-identical
 //      CSV artifacts;
-//   4. diffs the serial artifacts against the pinned goldens under
+//   5. diffs the serial artifacts against the pinned goldens under
 //      tests/golden/ with per-column tolerances, reporting the first
 //      divergent cell.
 //
+// --jobs shards the invariant grid, the fuzzers and the engine
+// pipelines over a thread pool; reports and artifacts are merged in
+// deterministic order, so serial and parallel runs stay byte-identical.
+//
 //   ./check_cli [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]
-//               [--jobs <n>] [--skip-invariants]
+//               [--fuzz-cachesim <n>] [--jobs <n>] [--skip-invariants]
 //
 // Exit codes: 0 = all checks pass, 1 = violations or divergences,
 // 64 = usage error (matching the suite/bench CLI conventions).
@@ -36,7 +43,8 @@ struct Options {
   std::optional<std::string> golden_dir;
   std::optional<std::string> write_golden_dir;
   unsigned fuzz_seeds = 0;
-  int jobs = 0;  ///< parallel engine workers; 0 = one per hw thread
+  unsigned fuzz_cachesim_seeds = 4;
+  int jobs = 0;  ///< check/fuzz/engine workers; 0 = one per hw thread
   bool skip_invariants = false;
 };
 
@@ -44,7 +52,7 @@ struct Options {
   std::cerr << argv0 << ": " << what << "\n"
             << "usage: " << argv0
             << " [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]"
-               " [--jobs <n>] [--skip-invariants]\n";
+               " [--fuzz-cachesim <n>] [--jobs <n>] [--skip-invariants]\n";
   std::exit(64);
 }
 
@@ -72,6 +80,8 @@ Options parse_args(int argc, char** argv) {
       opt.write_golden_dir = value();
     } else if (arg == "--fuzz") {
       opt.fuzz_seeds = static_cast<unsigned>(number(value()));
+    } else if (arg == "--fuzz-cachesim") {
+      opt.fuzz_cachesim_seeds = static_cast<unsigned>(number(value()));
     } else if (arg == "--jobs") {
       opt.jobs = static_cast<int>(number(value()));
     } else if (arg == "--skip-invariants") {
@@ -125,7 +135,7 @@ int main(int argc, char** argv) {
   if (!opt.skip_invariants) {
     const auto sigs = kernels::all_signatures();
     for (const auto& m : machine::all_machines()) {
-      const auto report = check::check_machine(m, sigs);
+      const auto report = check::check_machine(m, sigs, {}, opt.jobs);
       std::cout << "invariants " << m.name << ": " << report.points
                 << " points, " << report.violations.size()
                 << " violations\n";
@@ -138,7 +148,8 @@ int main(int argc, char** argv) {
 
   // 2. Fuzzing over random machines (scalar floor off; see check/fuzz).
   if (opt.fuzz_seeds > 0) {
-    const auto report = check::fuzz_invariants(1000, opt.fuzz_seeds);
+    const auto report =
+        check::fuzz_invariants(1000, opt.fuzz_seeds, {}, opt.jobs);
     std::cout << "fuzz over " << opt.fuzz_seeds << " random machines: "
               << report.points << " points, " << report.violations.size()
               << " violations\n";
@@ -148,7 +159,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 3 + 4. Pipelines: serial vs parallel byte-identity, then the golden
+  // 3. Cachesim replay agreement: streaming engine vs the legacy
+  // vector path must be bit-identical on the paper machines and on
+  // random fuzzed descriptors.
+  {
+    check::CheckReport report;
+    for (const auto& m : machine::all_machines()) {
+      report.merge(check::cachesim_agreement(m));
+    }
+    if (opt.fuzz_cachesim_seeds > 0) {
+      report.merge(check::fuzz_cachesim(2000, opt.fuzz_cachesim_seeds,
+                                        opt.jobs));
+    }
+    std::cout << "cachesim agreement (+" << opt.fuzz_cachesim_seeds
+              << " random machines): " << report.points << " points, "
+              << report.violations.size() << " violations\n";
+    if (!report.ok()) {
+      failed = true;
+      print_violations(report);
+    }
+  }
+
+  // 4 + 5. Pipelines: serial vs parallel byte-identity, then the golden
   // differential. Two private engines so the comparison cannot share a
   // memo cache with anything else in the process.
   {

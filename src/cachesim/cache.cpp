@@ -39,7 +39,15 @@ Addr Cache::tag_of(Addr addr) const {
 }
 
 bool Cache::access(Addr addr, bool is_write) {
-  ++clock_;
+  return access_line(addr, is_write, 1).hit;
+}
+
+Cache::LineOutcome Cache::access_line(Addr addr, bool is_write,
+                                      std::uint64_t n) {
+  // Advancing the clock by n up front is equivalent to n single-access
+  // bumps: no other line's stamp changes in between, so victim
+  // comparisons see the same relative order.
+  clock_ += n;
   const std::size_t set = set_index(addr);
   const Addr tag = tag_of(addr);
   Line* base = &lines_[set * config_.ways];
@@ -51,22 +59,26 @@ bool Cache::access(Addr addr, bool is_write) {
       if (config_.policy == ReplacementPolicy::LRU) line.stamp = clock_;
       line.dirty = line.dirty || is_write;
       if (is_write) {
-        ++stats_.write_hits;
+        stats_.write_hits += n;
       } else {
-        ++stats_.read_hits;
+        stats_.read_hits += n;
       }
-      return true;
+      return LineOutcome{true, false, 0};
     }
   }
 
+  if (is_write && !config_.write_allocate) {
+    stats_.write_misses += n;  // write-around: every access misses
+    return LineOutcome{false, false, 0};
+  }
+  // Allocating miss: the first access misses, the remaining n-1 hit
+  // the just-installed line (nothing can evict it in between).
   if (is_write) {
     ++stats_.write_misses;
+    stats_.write_hits += n - 1;
   } else {
     ++stats_.read_misses;
-  }
-
-  if (is_write && !config_.write_allocate) {
-    return false;  // write-around: no fill
+    stats_.read_hits += n - 1;
   }
 
   // Choose a victim: an invalid way, else the oldest stamp.
@@ -79,14 +91,41 @@ bool Cache::access(Addr addr, bool is_write) {
     }
     if (line.stamp < victim->stamp) victim = &line;
   }
+  LineOutcome out{false, false, 0};
   if (victim->valid) {
     ++stats_.evictions;
-    if (victim->dirty) ++stats_.writebacks;
+    if (victim->dirty) {
+      ++stats_.writebacks;
+      out.writeback = true;
+      out.victim_addr =
+          (victim->tag * config_.num_sets() + set) * config_.line_bytes;
+    }
   }
   victim->valid = true;
   victim->tag = tag;
   victim->dirty = is_write;
-  victim->stamp = clock_;
+  // LRU: last use (after all n accesses). FIFO: fill time (the first).
+  victim->stamp = config_.policy == ReplacementPolicy::FIFO
+                      ? clock_ - n + 1
+                      : clock_;
+  return out;
+}
+
+bool Cache::write_back_line(Addr addr) {
+  ++clock_;
+  const std::size_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Line* base = &lines_[set * config_.ways];
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      if (config_.policy == ReplacementPolicy::LRU) line.stamp = clock_;
+      line.dirty = true;
+      ++stats_.wb_hits;
+      return true;
+    }
+  }
+  ++stats_.wb_misses;
   return false;
 }
 
@@ -118,18 +157,76 @@ Hierarchy::Hierarchy(std::vector<CacheConfig> levels) {
   }
   caches_.reserve(levels.size());
   for (auto& cfg : levels) caches_.emplace_back(std::move(cfg));
+  pending_wb_.reserve(caches_.size());
 }
 
 std::size_t Hierarchy::access(Addr addr, bool is_write) {
+  return access_segment(addr, is_write, 1);
+}
+
+std::size_t Hierarchy::access_segment(Addr addr, bool is_write,
+                                      std::uint64_t n) {
+  std::size_t served = caches_.size();
+  pending_wb_.clear();
+  std::uint64_t n_fwd = n;
   for (std::size_t i = 0; i < caches_.size(); ++i) {
-    if (caches_[i].access(addr, is_write)) return i;
+    const auto out = caches_[i].access_line(addr, is_write, n_fwd);
+    if (out.writeback && i + 1 < caches_.size()) {
+      pending_wb_.emplace_back(i + 1, out.victim_addr);
+    }
+    // A dirty victim of the last level goes straight to memory; its
+    // traffic is already counted in that level's writebacks.
+    if (out.hit) {
+      served = i;
+      break;
+    }
+    // An allocating miss installs the line, so only the segment's first
+    // access continues downward; a write-around miss installs nothing
+    // and every access of the segment falls through.
+    if (!(is_write && !caches_[i].config().write_allocate)) n_fwd = 1;
   }
-  return caches_.size();
+  for (const auto& [level, victim] : pending_wb_) {
+    write_back(level, victim);
+  }
+  return served;
+}
+
+void Hierarchy::write_back(std::size_t level, Addr addr) {
+  for (std::size_t i = level; i < caches_.size(); ++i) {
+    if (caches_[i].write_back_line(addr)) return;  // absorbed
+  }
+  // Missed every remaining level: the write miss counted at the last
+  // level is the DRAM write traffic (see dram_bytes()).
+}
+
+void Hierarchy::access_run(const AccessRun& run) {
+  ++telemetry_.runs;
+  telemetry_.accesses += run.count;
+  const Addr line = caches_.front().config().line_bytes;
+  Addr addr = run.base;
+  std::uint64_t left = run.count;
+  while (left > 0) {
+    std::uint64_t n = left;
+    if (run.step_bytes != 0) {
+      const Addr line_end = addr - addr % line + line;
+      const std::uint64_t fit = (line_end - 1 - addr) / run.step_bytes + 1;
+      n = std::min(left, fit);
+    }
+    ++telemetry_.line_segments;
+    telemetry_.coalesced += n - 1;
+    access_segment(addr, run.is_write, n);
+    addr += n * run.step_bytes;
+    left -= n;
+  }
 }
 
 std::uint64_t Hierarchy::dram_bytes() const {
+  // Last-level demand misses are fills from memory; dirty evictions
+  // from the last level and writebacks that pass through it unabsorbed
+  // are writes to memory.
   const auto& last = caches_.back();
-  return (last.stats().misses() + last.stats().writebacks) *
+  return (last.stats().misses() + last.stats().writebacks +
+          last.stats().wb_misses) *
          last.config().line_bytes;
 }
 

@@ -3,6 +3,15 @@
 // traces against a real set/way/LRU structure, and the validation tests
 // check that the analytical model's serving-level decisions agree with
 // simulated miss rates on synthetic kernels.
+//
+// The hot entry points are run-based: TraceCursor (replay.hpp) yields
+// AccessRuns and Hierarchy::access_run consumes them, collapsing the
+// accesses that fall into one cache line into a single tag check plus a
+// counted hit increment. The coalescing is exact — the per-access
+// `access` path and the run path produce bit-identical CacheStats —
+// because a run's same-line accesses are consecutive in the global
+// access order, so nothing can intervene and evict the line between
+// them (see docs/CACHESIM.md for the argument).
 #pragma once
 
 #include <cstdint>
@@ -37,7 +46,14 @@ struct CacheStats {
   std::uint64_t write_misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t writebacks = 0;
+  /// Writebacks arriving from the level above (see write_back_line).
+  /// Kept separate from the demand counters so miss rates measure
+  /// demand traffic only; a wb_miss at the last level is DRAM write
+  /// traffic (dram_bytes()).
+  std::uint64_t wb_hits = 0;
+  std::uint64_t wb_misses = 0;
 
+  /// Demand accesses (writeback absorption excluded).
   std::uint64_t accesses() const {
     return read_hits + read_misses + write_hits + write_misses;
   }
@@ -46,12 +62,64 @@ struct CacheStats {
     const auto a = accesses();
     return a == 0 ? 0.0 : static_cast<double>(misses()) / a;
   }
+
+  bool operator==(const CacheStats&) const = default;
+
+  CacheStats& operator+=(const CacheStats& o) {
+    read_hits += o.read_hits;
+    read_misses += o.read_misses;
+    write_hits += o.write_hits;
+    write_misses += o.write_misses;
+    evictions += o.evictions;
+    writebacks += o.writebacks;
+    wb_hits += o.wb_hits;
+    wb_misses += o.wb_misses;
+    return *this;
+  }
+  CacheStats& operator-=(const CacheStats& o) {
+    read_hits -= o.read_hits;
+    read_misses -= o.read_misses;
+    write_hits -= o.write_hits;
+    write_misses -= o.write_misses;
+    evictions -= o.evictions;
+    writebacks -= o.writebacks;
+    wb_hits -= o.wb_hits;
+    wb_misses -= o.wb_misses;
+    return *this;
+  }
+  /// Every field multiplied by `k` (steady-state rep extrapolation).
+  CacheStats scaled(std::uint64_t k) const {
+    return CacheStats{read_hits * k,  read_misses * k,  write_hits * k,
+                      write_misses * k, evictions * k,  writebacks * k,
+                      wb_hits * k,    wb_misses * k};
+  }
+};
+
+/// `count` accesses starting at `base`, advancing `step_bytes` per
+/// access (0 = the same address repeatedly). A run never mixes reads
+/// and writes, and its accesses are consecutive in the trace order.
+struct AccessRun {
+  Addr base = 0;
+  std::uint64_t step_bytes = 0;
+  std::uint64_t count = 1;
+  bool is_write = false;
+
+  bool operator==(const AccessRun&) const = default;
 };
 
 /// One level of cache. Accesses report hit/miss; misses are meant to be
 /// forwarded to the next level by the caller (see Hierarchy).
 class Cache {
  public:
+  /// Outcome of access_line: whether the (first) access hit, and
+  /// whether installing on a miss evicted a dirty victim the caller
+  /// must write back to the next level.
+  struct LineOutcome {
+    bool hit = false;
+    bool writeback = false;
+    Addr victim_addr = 0;  ///< line-aligned address of the dirty victim
+  };
+
   explicit Cache(CacheConfig config);
 
   const CacheConfig& config() const noexcept { return config_; }
@@ -60,6 +128,28 @@ class Cache {
   /// True on hit. On miss the line is installed (allocate-on-miss; for
   /// writes only when write_allocate).
   bool access(Addr addr, bool is_write);
+
+  /// `n` consecutive accesses that all fall into the line holding
+  /// `addr`, performed as one tag check. Exactly equivalent to calling
+  /// `access` n times on same-line addresses back to back: on a hit all
+  /// n count as hits; on an allocating miss the first counts as the
+  /// miss and the remaining n-1 hit the just-installed line; a
+  /// write-around miss counts all n as write misses. LRU stamps end at
+  /// the clock after the last access, FIFO stamps keep the fill time.
+  LineOutcome access_line(Addr addr, bool is_write, std::uint64_t n = 1);
+
+  /// Absorbs a writeback arriving from the level above: on hit the
+  /// resident line turns dirty (counted as a wb_hit) and true is
+  /// returned; on miss a wb_miss is counted, nothing is allocated
+  /// (writeback data needs no fill), and false tells the hierarchy to
+  /// forward the writeback further down. Writeback absorption is
+  /// accounted separately from demand traffic.
+  bool write_back_line(Addr addr);
+
+  /// Folds externally accounted events into the statistics — used by
+  /// the replay engine's steady-state extrapolation, which skips
+  /// simulating reps whose per-level deltas are already periodic.
+  void add_stats(const CacheStats& delta) { stats_ += delta; }
 
   /// Is the line currently resident (no state change)?
   bool probe(Addr addr) const;
@@ -89,25 +179,59 @@ class Cache {
 
 /// An inclusive-enough multi-level hierarchy: an access walks down the
 /// levels until it hits; lower levels are only consulted (and filled) on
-/// a miss above. Reports per-level stats and the DRAM traffic in bytes.
+/// a miss above. A dirty line evicted from level i is written back to
+/// level i+1 after the demand walk completes: it re-dirties the line
+/// when resident (write hit) and otherwise passes through as a write
+/// miss towards memory without allocating. Reports per-level stats and
+/// the DRAM traffic in bytes.
 class Hierarchy {
  public:
+  /// Accesses processed through the run API, for obs instrumentation.
+  struct RunTelemetry {
+    std::uint64_t runs = 0;           ///< access_run calls
+    std::uint64_t line_segments = 0;  ///< L1 tag checks those runs cost
+    std::uint64_t coalesced = 0;      ///< accesses folded into segments
+    std::uint64_t accesses = 0;       ///< logical accesses replayed
+  };
+
   explicit Hierarchy(std::vector<CacheConfig> levels);
 
   /// Performs one access; returns the deepest level index that HIT, or
   /// levels() if it went to memory.
   std::size_t access(Addr addr, bool is_write);
 
+  /// Replays a whole run, coalescing the accesses that share an L1
+  /// line into one access_line call per line touched. Bit-identical
+  /// statistics to calling `access` once per run element.
+  void access_run(const AccessRun& run);
+
   std::size_t levels() const noexcept { return caches_.size(); }
   const Cache& level(std::size_t i) const { return caches_.at(i); }
+
+  /// Adds an externally computed stats delta to one level (replay
+  /// steady-state extrapolation).
+  void add_stats(std::size_t level, const CacheStats& delta) {
+    caches_.at(level).add_stats(delta);
+  }
 
   /// Bytes fetched from memory (miss traffic of the last level).
   std::uint64_t dram_bytes() const;
 
+  const RunTelemetry& telemetry() const noexcept { return telemetry_; }
+
   void flush();
 
  private:
+  /// `n` same-L1-line consecutive accesses: one L1 tag check, at most
+  /// one forwarded access per lower level, then pending writebacks.
+  std::size_t access_segment(Addr addr, bool is_write, std::uint64_t n);
+  /// Walks a writeback down from `level` until a cache absorbs it.
+  void write_back(std::size_t level, Addr addr);
+
   std::vector<Cache> caches_;
+  /// (next level, victim address) collected during one demand walk.
+  std::vector<std::pair<std::size_t, Addr>> pending_wb_;
+  RunTelemetry telemetry_;
 };
 
 }  // namespace sgp::cachesim

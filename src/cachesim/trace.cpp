@@ -1,118 +1,25 @@
 #include "cachesim/trace.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <random>
 #include <stdexcept>
+
+#include "cachesim/replay.hpp"
 
 namespace sgp::cachesim {
 
-namespace {
-
-constexpr Addr kGuard = 1 << 16;  // space between arrays
-
-Addr array_base(const SweepSpec& spec, std::size_t array) {
-  const Addr span = static_cast<Addr>(spec.elems) * spec.elem_bytes;
-  return spec.base + static_cast<Addr>(array) * (span + kGuard);
-}
-
-}  // namespace
-
 Trace generate_sweep(const SweepSpec& spec) {
-  using core::AccessPattern;
-  if (spec.arrays == 0 || spec.elems == 0) {
-    throw std::invalid_argument("generate_sweep: empty spec");
-  }
+  // The cursor defines the canonical access order; flattening its run
+  // stream keeps the materialized trace and the streaming replay
+  // bit-for-bit the same sequence.
+  TraceCursor cursor(spec);
   Trace trace;
-  const std::size_t reads = spec.arrays > 1 ? spec.arrays - 1 : 1;
-  const bool has_write = spec.arrays > 1;
-  trace.reserve(spec.elems * spec.arrays);
-
-  auto emit_elem = [&](std::size_t logical_index) {
-    for (std::size_t a = 0; a < reads; ++a) {
-      trace.push_back({array_base(spec, a) +
-                           static_cast<Addr>(logical_index) * spec.elem_bytes,
-                       false});
-    }
-    if (has_write) {
-      trace.push_back(
-          {array_base(spec, reads) +
-               static_cast<Addr>(logical_index) * spec.elem_bytes,
-           true});
-    }
-  };
-
-  switch (spec.pattern) {
-    case AccessPattern::Streaming:
-    case AccessPattern::Reduction:
-      for (std::size_t i = 0; i < spec.elems; ++i) emit_elem(i);
-      break;
-    case AccessPattern::Strided: {
-      const std::size_t stride = std::max<std::size_t>(1, spec.stride_elems);
-      for (std::size_t phase = 0; phase < stride; ++phase) {
-        for (std::size_t i = phase; i < spec.elems; i += stride) {
-          emit_elem(i);
-        }
-      }
-      break;
-    }
-    case AccessPattern::Stencil1D:
-      // i-1, i, i+1 from array 0; write array 1.
-      for (std::size_t i = 1; i + 1 < spec.elems; ++i) {
-        for (const std::size_t j : {i - 1, i, i + 1}) {
-          trace.push_back(
-              {array_base(spec, 0) + static_cast<Addr>(j) * spec.elem_bytes,
-               false});
-        }
-        trace.push_back(
-            {array_base(spec, 1) + static_cast<Addr>(i) * spec.elem_bytes,
-             true});
-      }
-      break;
-    case AccessPattern::Gather: {
-      std::mt19937 rng(spec.seed);
-      std::uniform_int_distribution<std::size_t> dist(0, spec.elems - 1);
-      for (std::size_t i = 0; i < spec.elems; ++i) {
-        // index load (sequential) + gathered data load (random).
-        trace.push_back(
-            {array_base(spec, 0) + static_cast<Addr>(i) * spec.elem_bytes,
-             false});
-        trace.push_back({array_base(spec, 1) +
-                             static_cast<Addr>(dist(rng)) * spec.elem_bytes,
-                         false});
-      }
-      break;
-    }
-    case AccessPattern::Sequential:
-    case AccessPattern::Sort:
-      // A forward sweep with read-modify-write (recurrence-like).
-      for (std::size_t i = 0; i < spec.elems; ++i) {
-        const Addr a =
-            array_base(spec, 0) + static_cast<Addr>(i) * spec.elem_bytes;
-        trace.push_back({a, false});
-        trace.push_back({a, true});
-      }
-      break;
-    case AccessPattern::Stencil2D:
-    case AccessPattern::Stencil3D:
-    case AccessPattern::BlockedMatrix: {
-      // Row sweep with a re-visited neighbour row one "row" back.
-      const std::size_t row = std::max<std::size_t>(
-          8, static_cast<std::size_t>(std::sqrt(spec.elems)));
-      for (std::size_t i = row; i < spec.elems; ++i) {
-        trace.push_back(
-            {array_base(spec, 0) + static_cast<Addr>(i) * spec.elem_bytes,
-             false});
-        trace.push_back({array_base(spec, 0) +
-                             static_cast<Addr>(i - row) * spec.elem_bytes,
-                         false});
-        if (spec.arrays > 1) {
-          trace.push_back(
-              {array_base(spec, 1) + static_cast<Addr>(i) * spec.elem_bytes,
-               true});
-        }
-      }
-      break;
+  trace.reserve(cursor.total_accesses());
+  AccessRun run;
+  while (cursor.next(run)) {
+    Addr addr = run.base;
+    for (std::uint64_t k = 0; k < run.count; ++k) {
+      trace.push_back({addr, run.is_write});
+      addr += run.step_bytes;
     }
   }
   return trace;
@@ -156,34 +63,10 @@ Hierarchy hierarchy_for(const machine::MachineDescriptor& m,
 ReplayResult replay(const machine::MachineDescriptor& m,
                     const SweepSpec& spec, int reps, int l2_sharers,
                     int l3_sharers) {
-  if (reps < 1) throw std::invalid_argument("replay: reps must be >= 1");
-  ReplayResult result{hierarchy_for(m, l2_sharers, l3_sharers), 0, {}};
-  const Trace trace = generate_sweep(spec);
-
-  // Warm reps.
-  for (int r = 0; r + 1 < reps; ++r) {
-    for (const auto& a : trace) {
-      result.hierarchy.access(a.addr, a.is_write);
-      ++result.accesses;
-    }
-  }
-  // Final rep: measure steady-state per-level miss rates.
-  std::vector<CacheStats> before;
-  for (std::size_t i = 0; i < result.hierarchy.levels(); ++i) {
-    before.push_back(result.hierarchy.level(i).stats());
-  }
-  for (const auto& a : trace) {
-    result.hierarchy.access(a.addr, a.is_write);
-    ++result.accesses;
-  }
-  for (std::size_t i = 0; i < result.hierarchy.levels(); ++i) {
-    const auto& now = result.hierarchy.level(i).stats();
-    const auto acc = now.accesses() - before[i].accesses();
-    const auto miss = now.misses() - before[i].misses();
-    result.steady_miss_rate.push_back(
-        acc == 0 ? 0.0 : static_cast<double>(miss) / acc);
-  }
-  return result;
+  ReplayOptions opt;
+  opt.l2_sharers = l2_sharers;
+  opt.l3_sharers = l3_sharers;
+  return replay_stream(m, spec, reps, opt);
 }
 
 }  // namespace sgp::cachesim

@@ -33,6 +33,10 @@ struct SweepSpec {
   Addr base = 1 << 20;
 };
 
+/// Materializes one full sweep by flattening the TraceCursor run
+/// stream (replay.hpp); reserves the exact per-pattern access count up
+/// front. Kept for the legacy vector-replay path and tools that want a
+/// concrete trace.
 Trace generate_sweep(const SweepSpec& spec);
 
 /// Cache hierarchy mirroring a machine descriptor's per-core view
@@ -42,9 +46,12 @@ Trace generate_sweep(const SweepSpec& spec);
 Hierarchy hierarchy_for(const machine::MachineDescriptor& m,
                         int l2_sharers = 1, int l3_sharers = 1);
 
-/// Replays the trace `reps` times (flushing nothing in between, like a
+/// Replays the sweep `reps` times (flushing nothing in between, like a
 /// RAJAPerf kernel re-running over resident data) and returns the
-/// hierarchy for inspection.
+/// hierarchy for inspection. Delegates to the streaming engine
+/// (replay_stream in replay.hpp): runs are coalesced per cache line
+/// and reps are extrapolated once the per-level deltas go periodic —
+/// the statistics are bit-identical to the full vector replay.
 struct ReplayResult {
   Hierarchy hierarchy;
   std::uint64_t accesses = 0;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <random>
+#include <sstream>
 #include <stdexcept>
 
+#include "cachesim/replay.hpp"
 #include "kernels/register_all.hpp"
 #include "machine/placement.hpp"
+#include "obs/metrics.hpp"
 
 namespace sgp::check {
 
@@ -94,7 +97,7 @@ machine::MachineDescriptor random_machine(unsigned seed) {
 }
 
 CheckReport fuzz_invariants(unsigned first_seed, unsigned num_seeds,
-                            const FuzzOptions& opt) {
+                            const FuzzOptions& opt, int jobs) {
   std::vector<core::KernelSignature> sigs;
   for (const auto& name : opt.kernels) {
     bool found = false;
@@ -109,10 +112,13 @@ CheckReport fuzz_invariants(unsigned first_seed, unsigned num_seeds,
     }
   }
 
-  CheckReport report;
-  for (unsigned seed = first_seed; seed < first_seed + num_seeds; ++seed) {
+  // One shard per seed; the InvariantChecker (and its Simulator) is
+  // built inside the shard, so workers share nothing mutable.
+  return sharded_reports(num_seeds, jobs, [&](std::size_t i) {
+    const unsigned seed = first_seed + static_cast<unsigned>(i);
     const auto m = random_machine(seed);
     const InvariantChecker checker(m, opt.check);
+    CheckReport shard;
 
     const int n = m.num_cores;
     std::vector<int> thread_grid{1, std::max(1, n / 2), n};
@@ -129,14 +135,111 @@ CheckReport fuzz_invariants(unsigned first_seed, unsigned num_seeds,
           cfg.placement = placement;
           for (const int t : thread_grid) {
             cfg.nthreads = t;
-            checker.check_point(sig, cfg, report);
+            checker.check_point(sig, cfg, shard);
           }
-          checker.check_thread_monotonicity(sig, cfg, thread_grid, report);
+          checker.check_thread_monotonicity(sig, cfg, thread_grid, shard);
         }
       }
     }
+    return shard;
+  });
+}
+
+namespace {
+
+std::string render_stats(const cachesim::CacheStats& s) {
+  std::ostringstream os;
+  os << "rh=" << s.read_hits << " rm=" << s.read_misses
+     << " wh=" << s.write_hits << " wm=" << s.write_misses
+     << " ev=" << s.evictions << " wb=" << s.writebacks
+     << " wbh=" << s.wb_hits << " wbm=" << s.wb_misses;
+  return os.str();
+}
+
+}  // namespace
+
+CheckReport cachesim_agreement(const machine::MachineDescriptor& m) {
+  using core::AccessPattern;
+  struct Case {
+    AccessPattern pattern;
+    std::size_t arrays;
+    std::size_t elems;
+    std::size_t stride;
+    int reps;
+  };
+  // Small enough that the vector reference stays cheap on every random
+  // machine, large enough to spill L1 and exercise evictions.
+  const Case cases[] = {
+      {AccessPattern::Streaming, 3, std::size_t{1} << 12, 8, 6},
+      {AccessPattern::Reduction, 1, std::size_t{1} << 12, 8, 6},
+      {AccessPattern::Strided, 2, std::size_t{1} << 12, 16, 6},
+      {AccessPattern::Stencil1D, 2, std::size_t{1} << 12, 8, 5},
+      {AccessPattern::Stencil2D, 2, std::size_t{1} << 12, 8, 5},
+      {AccessPattern::Gather, 2, std::size_t{1} << 11, 8, 4},
+      {AccessPattern::Sequential, 1, std::size_t{1} << 12, 8, 6},
+  };
+
+  CheckReport report;
+  for (const auto& c : cases) {
+    cachesim::SweepSpec spec;
+    spec.pattern = c.pattern;
+    spec.arrays = c.arrays;
+    spec.elems = c.elems;
+    spec.stride_elems = c.stride;
+
+    const auto vec = cachesim::replay_vector(m, spec, c.reps);
+    const auto str = cachesim::replay_stream(m, spec, c.reps);
+
+    std::string detail;
+    bool ok = true;
+    if (vec.accesses != str.accesses) {
+      ok = false;
+      detail = "accesses " + std::to_string(vec.accesses) + " vs " +
+               std::to_string(str.accesses);
+    } else if (vec.hierarchy.dram_bytes() != str.hierarchy.dram_bytes()) {
+      ok = false;
+      detail = "dram_bytes " +
+               std::to_string(vec.hierarchy.dram_bytes()) + " vs " +
+               std::to_string(str.hierarchy.dram_bytes());
+    } else if (vec.steady_miss_rate != str.steady_miss_rate) {
+      ok = false;
+      detail = "steady miss rates differ";
+    } else {
+      for (std::size_t l = 0; l < vec.hierarchy.levels(); ++l) {
+        const auto& a = vec.hierarchy.level(l).stats();
+        const auto& b = str.hierarchy.level(l).stats();
+        if (!(a == b)) {
+          ok = false;
+          detail = vec.hierarchy.level(l).config().name + " vector{" +
+                   render_stats(a) + "} stream{" + render_stats(b) + "}";
+          break;
+        }
+      }
+    }
+
+    ++report.points;
+    obs::registry().counter("check.cachesim-replay-agreement.points").add();
+    if (!ok) {
+      obs::registry()
+          .counter("check.cachesim-replay-agreement.violations")
+          .add();
+      report.violations.push_back(Violation{
+          "cachesim-replay-agreement", m.name,
+          std::string("sweep-") + std::string(core::to_string(c.pattern)),
+          "elems=" + std::to_string(c.elems) +
+              " reps=" + std::to_string(c.reps),
+          detail});
+    }
   }
   return report;
+}
+
+CheckReport fuzz_cachesim(unsigned first_seed, unsigned num_seeds,
+                          int jobs) {
+  return sharded_reports(num_seeds, jobs, [&](std::size_t i) {
+    return cachesim_agreement(
+        random_machine(first_seed + static_cast<unsigned>(i)));
+  });
 }
 
 }  // namespace sgp::check

@@ -31,7 +31,23 @@ machine::MachineDescriptor random_machine(unsigned seed);
 /// Replays the single-point and thread-monotonicity invariants over
 /// `num_seeds` random machines starting at `first_seed`, across both
 /// precisions, all placements, and serial/half/full thread counts.
+/// `jobs` shards the seeds over a ThreadPool (0 = one per hardware
+/// thread); per-seed reports are merged in seed order, so the report is
+/// byte-identical to a serial run regardless of the worker count.
 CheckReport fuzz_invariants(unsigned first_seed, unsigned num_seeds,
-                            const FuzzOptions& opt = {});
+                            const FuzzOptions& opt = {}, int jobs = 1);
+
+/// Replays every access pattern through both cachesim replay paths —
+/// the legacy vector-materialized one and the streaming run-coalescing
+/// engine with steady-state early exit — on machine `m` and demands
+/// bit-identical per-level CacheStats, DRAM bytes, access counts and
+/// steady miss rates (invariant "cachesim-replay-agreement").
+CheckReport cachesim_agreement(const machine::MachineDescriptor& m);
+
+/// cachesim_agreement over `num_seeds` random machines starting at
+/// `first_seed`, sharded over `jobs` workers with deterministic
+/// seed-order merging like fuzz_invariants.
+CheckReport fuzz_cachesim(unsigned first_seed, unsigned num_seeds,
+                          int jobs = 1);
 
 }  // namespace sgp::check

@@ -5,11 +5,13 @@
 #include <sstream>
 #include <utility>
 
+#include "cachesim/replay.hpp"
 #include "cachesim/trace.hpp"
 #include "machine/placement.hpp"
 #include "obs/metrics.hpp"
 #include "sim/cache_model.hpp"
 #include "sim/roofline.hpp"
+#include "threading/pool.hpp"
 
 namespace sgp::check {
 
@@ -278,10 +280,12 @@ void InvariantChecker::check_cachesim_consistency(
     const int l2_sharers = std::max(1, m.l2.shared_by);
     const int l3_sharers = m.l3.present() ? std::max(1, m.l3.shared_by) : 1;
     auto hier = cachesim::hierarchy_for(m, l2_sharers, l3_sharers);
-    const auto trace = cachesim::generate_sweep(spec);
-    for (const auto& a : trace) hier.access(a.addr, a.is_write);  // warm
+    cachesim::TraceCursor cursor(spec);
+    cachesim::AccessRun run;
+    while (cursor.next(run)) hier.access_run(run);  // warm
     const std::uint64_t warm_bytes = hier.dram_bytes();
-    for (const auto& a : trace) hier.access(a.addr, a.is_write);
+    cursor.rewind();
+    while (cursor.next(run)) hier.access_run(run);
     const double rep_bytes =
         static_cast<double>(hier.dram_bytes() - warm_bytes);
 
@@ -304,11 +308,29 @@ void InvariantChecker::check_cachesim_consistency(
   }
 }
 
+CheckReport sharded_reports(
+    std::size_t n, int jobs,
+    const std::function<CheckReport(std::size_t)>& fn) {
+  std::vector<CheckReport> parts(n);
+  const int workers = threading::recommended_jobs(jobs);
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) parts[i] = fn(i);
+  } else {
+    threading::ThreadPool pool(workers);
+    pool.parallel_for_dynamic(
+        n, 1, [&](std::size_t begin, std::size_t end, int) {
+          for (std::size_t i = begin; i < end; ++i) parts[i] = fn(i);
+        });
+  }
+  CheckReport report;
+  for (auto& part : parts) report.merge(std::move(part));
+  return report;
+}
+
 CheckReport check_machine(const machine::MachineDescriptor& m,
                           const std::vector<core::KernelSignature>& sigs,
-                          const CheckOptions& opt) {
+                          const CheckOptions& opt, int jobs) {
   InvariantChecker checker(m, opt);
-  CheckReport report;
 
   const int n = m.num_cores;
   std::vector<int> thread_grid{1, std::max(1, n / 2), n};
@@ -316,29 +338,35 @@ CheckReport check_machine(const machine::MachineDescriptor& m,
   thread_grid.erase(std::unique(thread_grid.begin(), thread_grid.end()),
                     thread_grid.end());
 
-  for (const auto& sig : sigs) {
-    for (const auto prec : core::all_precisions) {
-      sim::SimConfig cfg;
-      cfg.precision = prec;
+  // One shard per kernel signature; sim::Simulator::run is const and
+  // thread-safe, and shard reports merge in signature order.
+  CheckReport report = sharded_reports(
+      sigs.size(), jobs, [&](std::size_t si) {
+        const auto& sig = sigs[si];
+        CheckReport shard;
+        for (const auto prec : core::all_precisions) {
+          sim::SimConfig cfg;
+          cfg.precision = prec;
 
-      for (const int t : thread_grid) {
-        cfg.nthreads = t;
-        cfg.placement = machine::Placement::Block;
-        checker.check_point(sig, cfg, report);
-      }
-      cfg.nthreads = n;
-      for (const auto placement : machine::all_placements) {
-        if (placement == machine::Placement::Block) continue;  // done above
-        cfg.placement = placement;
-        checker.check_point(sig, cfg, report);
-      }
+          for (const int t : thread_grid) {
+            cfg.nthreads = t;
+            cfg.placement = machine::Placement::Block;
+            checker.check_point(sig, cfg, shard);
+          }
+          cfg.nthreads = n;
+          for (const auto placement : machine::all_placements) {
+            if (placement == machine::Placement::Block) continue;  // above
+            cfg.placement = placement;
+            checker.check_point(sig, cfg, shard);
+          }
 
-      sim::SimConfig base;
-      base.precision = prec;
-      base.placement = machine::Placement::ClusterCyclic;
-      checker.check_thread_monotonicity(sig, base, thread_grid, report);
-    }
-  }
+          sim::SimConfig base;
+          base.precision = prec;
+          base.placement = machine::Placement::ClusterCyclic;
+          checker.check_thread_monotonicity(sig, base, thread_grid, shard);
+        }
+        return shard;
+      });
 
   checker.check_cachesim_consistency(report);
   return report;

@@ -33,7 +33,9 @@
 // and check.<invariant>.violations.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -111,11 +113,23 @@ class InvariantChecker {
   CheckOptions opt_;
 };
 
+/// Runs `fn(i)` for every index in [0, n) — sharded over a ThreadPool
+/// when `jobs` resolves to more than one worker (0 = one per hardware
+/// thread) — and merges the per-index reports in index order. The
+/// merged report is byte-identical to a serial run regardless of the
+/// worker count; `fn` must be safe to call concurrently.
+CheckReport sharded_reports(
+    std::size_t n, int jobs,
+    const std::function<CheckReport(std::size_t)>& fn);
+
 /// Every invariant for one machine over the given kernels at a standard
 /// config grid (both precisions; serial, half and full threads; the
 /// three placements at full width), plus the cachesim consistency pass.
+/// `jobs` shards the kernel signatures over a ThreadPool; reports merge
+/// in signature order, so the output does not depend on the worker
+/// count.
 CheckReport check_machine(const machine::MachineDescriptor& m,
                           const std::vector<core::KernelSignature>& sigs,
-                          const CheckOptions& opt = {});
+                          const CheckOptions& opt = {}, int jobs = 1);
 
 }  // namespace sgp::check

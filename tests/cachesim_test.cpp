@@ -78,6 +78,63 @@ TEST(Cache, FifoIgnoresReuse) {
   EXPECT_TRUE(c.probe(a1));
 }
 
+TEST(Cache, FifoWriteHitDoesNotRefreshEither) {
+  // The FIFO stamp is the fill time; neither read nor write hits may
+  // move a line back in the eviction order.
+  auto cfg = tiny_cache();
+  cfg.policy = ReplacementPolicy::FIFO;
+  Cache c(cfg);
+  const Addr a0 = 0 * 64, a1 = 8 * 64, a2 = 16 * 64;
+  c.access(a0, false);
+  c.access(a1, false);
+  c.access(a0, true);   // write hit: dirties, must not refresh
+  c.access(a2, false);  // still evicts a0 (oldest fill)
+  EXPECT_FALSE(c.probe(a0));
+  EXPECT_TRUE(c.probe(a1));
+  EXPECT_TRUE(c.probe(a2));
+  EXPECT_EQ(c.stats().writebacks, 1u);  // the dirty a0 left as a wb
+}
+
+TEST(Cache, ProbeDoesNotPerturbStateOrStats) {
+  // probe is a pure query: no LRU refresh, no counters.
+  Cache c(tiny_cache());
+  const Addr a0 = 0 * 64, a1 = 8 * 64, a2 = 16 * 64;
+  c.access(a0, false);
+  c.access(a1, false);
+  const auto snapshot = c.stats();
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(c.probe(a0));  // no refresh
+  EXPECT_EQ(c.stats(), snapshot);
+  c.access(a2, false);  // a0 is still LRU despite the probes
+  EXPECT_FALSE(c.probe(a0));
+  EXPECT_TRUE(c.probe(a1));
+}
+
+TEST(Cache, FlushKeepsStatisticsAndResetsResidency) {
+  Cache c(tiny_cache());
+  c.access(0x0, true);
+  c.access(0x40, false);
+  const auto before = c.stats();
+  c.flush();
+  EXPECT_EQ(c.stats(), before);  // flush drops lines, not history
+  EXPECT_EQ(c.resident_lines(), 0u);
+  // A flushed dirty line is simply gone: re-touching misses cold, and
+  // its eviction later cannot write back pre-flush dirt.
+  EXPECT_FALSE(c.access(0x0, false));
+  EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, ResidentLinesTracksFillsAndEvictions) {
+  Cache c(tiny_cache());  // 16 lines total (8 sets x 2 ways)
+  EXPECT_EQ(c.resident_lines(), 0u);
+  c.access(0x0, false);
+  c.access(0x20, false);  // same line
+  EXPECT_EQ(c.resident_lines(), 1u);
+  for (Addr a = 0; a < 16 * 64; a += 64) c.access(a, false);
+  EXPECT_EQ(c.resident_lines(), 16u);
+  c.access(16 * 64, false);  // conflict: evict + install, count steady
+  EXPECT_EQ(c.resident_lines(), 16u);
+}
+
 TEST(Cache, DirtyEvictionWritesBack) {
   Cache c(tiny_cache());
   const Addr a0 = 0 * 64, a1 = 8 * 64, a2 = 16 * 64;

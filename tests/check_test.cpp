@@ -192,6 +192,45 @@ TEST(Fuzz, UnknownKernelThrows) {
   EXPECT_THROW((void)fuzz_invariants(1, 1, opt), std::invalid_argument);
 }
 
+// ------------------------------------------- parallel shard determinism --
+TEST(Sharding, SerialAndParallelReportsAreIdentical) {
+  // sharded_reports merges per-index reports in index order, so worker
+  // count must never change what a driver reports.
+  const auto serial = fuzz_invariants(2000, 4, {}, /*jobs=*/1);
+  const auto parallel = fuzz_invariants(2000, 4, {}, /*jobs=*/4);
+  EXPECT_EQ(serial.points, parallel.points);
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size());
+  for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+    EXPECT_EQ(to_string(serial.violations[i]),
+              to_string(parallel.violations[i]));
+  }
+}
+
+TEST(Sharding, CheckMachineIsJobCountInvariant) {
+  const auto sigs = std::vector<core::KernelSignature>{find_sig("TRIAD")};
+  const auto m = machine::visionfive_v2();
+  const auto serial = check_machine(m, sigs, {}, /*jobs=*/1);
+  const auto parallel = check_machine(m, sigs, {}, /*jobs=*/4);
+  EXPECT_EQ(serial.points, parallel.points);
+  EXPECT_EQ(serial.violations.size(), parallel.violations.size());
+}
+
+// --------------------------------------------------- cachesim agreement --
+TEST(CachesimAgreement, PaperMachinesAreClean) {
+  for (const auto& m : machine::all_machines()) {
+    const auto report = cachesim_agreement(m);
+    EXPECT_GT(report.points, 0u);
+    EXPECT_TRUE(report.ok())
+        << m.name << ": " << to_string(report.violations.front());
+  }
+}
+
+TEST(CachesimAgreement, RandomMachinesAreClean) {
+  const auto report = fuzz_cachesim(3000, 4, /*jobs=*/4);
+  EXPECT_GT(report.points, 20u);
+  EXPECT_TRUE(report.ok()) << to_string(report.violations.front());
+}
+
 // ----------------------------------------------------------- artifacts --
 TEST(Artifacts, RegistryCoversEveryFigureAndTable) {
   const auto& names = artifact_names();
