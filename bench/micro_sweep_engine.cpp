@@ -15,12 +15,21 @@
 // engine, and between a first and a reuse (all-hits) run, then writes
 // the counters to BENCH_sweep.json. Exits 1 if any outputs differ or
 // the Simulator::run reduction is below 5x.
+//
+// --persist <dir> instead benchmarks the durable memo cache: a cold
+// persistent pass populates <dir>, a warm pass in a fresh engine must
+// replay from disk (>= 3x fewer Simulator::run calls, byte-identical
+// output), and a third pass under an injected bit-flip read fault must
+// quarantine the damaged segment and still reproduce the output.
+// Writes BENCH_persist.json; exits 1 if any gate fails.
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
 #include "bench/bench_common.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace {
 
@@ -173,14 +182,115 @@ PassResult run_pass(engine::SweepEngine& eng, bool legacy_mode) {
 [[noreturn]] void usage_error(const char* prog, const std::string& what) {
   std::cerr << prog << ": " << what << "\n"
             << "usage: " << prog << " [--json <path>] [--jobs <n>]"
-            << " [--perf]\n";
+            << " [--perf] [--persist <dir>]\n";
   std::exit(64);
+}
+
+/// --persist mode: cold-vs-warm throughput for the durable memo cache,
+/// plus recovery under a corrupted segment. The warm gate (>= 3x fewer
+/// Simulator::run calls) is deliberately far below the observed ~all-
+/// hits replay so timing noise cannot flake the bench-smoke lane.
+int run_persist_bench(const std::string& dir, const std::string& json_path,
+                      int jobs) {
+  namespace fs = std::filesystem;
+  using engine::EngineOptions;
+  std::cout << "== micro_sweep_engine --persist: durable memo cache, "
+               "cold vs warm ==\n";
+  fs::remove_all(dir);
+
+  engine::EnginePersistence persistence;
+  persistence.store.dir = dir;
+  persistence.note = "micro_sweep_engine --persist";
+
+  auto persistent_pass =
+      [&](resilience::FaultInjector* injector) -> PassResult {
+    engine::EnginePersistence p = persistence;
+    p.store.injector = injector;
+    engine::SweepEngine eng(EngineOptions{jobs, true, p});
+    return run_pass(eng, /*legacy_mode=*/false);
+  };  // engine destructor flushes the final segment
+
+  const auto cold = persistent_pass(nullptr);
+  const auto warm = persistent_pass(nullptr);
+
+  // Recovery pass: one bit of the first segment read is flipped; the
+  // loader must quarantine that segment, replay the rest, and recompute
+  // only the lost points.
+  resilience::FaultPlan plan =
+      resilience::FaultPlan::parse("persist.read:bitflip:1");
+  resilience::FaultInjector injector(plan, 99u);
+  const auto faulted = persistent_pass(&injector);
+
+  const std::uint64_t cold_sims = cold.counters.simulations;
+  const std::uint64_t warm_sims = warm.counters.simulations;
+  const bool warm_identical = warm.output == cold.output;
+  const bool faulted_identical = faulted.output == cold.output;
+  const std::uint64_t quarantined =
+      faulted.counters.persist.store.quarantined_segments;
+  const double speedup =
+      warm.wall_s > 0.0 ? cold.wall_s / warm.wall_s : 0.0;
+  const double sim_ratio =
+      double(cold_sims) / double(std::max<std::uint64_t>(warm_sims, 1));
+  const bool pass = warm_identical && faulted_identical &&
+                    sim_ratio >= 3.0 && quarantined >= 1;
+
+  report::Table t({"pass", "Simulator::run", "resumed points",
+                   "quarantined", "wall s"});
+  auto row = [&](const char* name, const PassResult& p) {
+    t.add_row({name, std::to_string(p.counters.simulations),
+               std::to_string(p.counters.persist.cache.resumed_points),
+               std::to_string(p.counters.persist.store.quarantined_segments),
+               report::Table::num(p.wall_s, 3)});
+  };
+  row("cold (empty store)", cold);
+  row("warm (resume)", warm);
+  row("warm (bit-flip fault)", faulted);
+  std::cout << t.render();
+  std::cout << "Simulator::run cold/warm: "
+            << report::Table::num(sim_ratio, 2) << "x (need >= 3)\n"
+            << "outputs identical — warm: " << (warm_identical ? "yes" : "NO")
+            << ", faulted: " << (faulted_identical ? "yes" : "NO")
+            << "; quarantined segments: " << quarantined << " (need >= 1)\n";
+  std::cout << (pass ? "PASS" : "FAIL") << "\n";
+
+  {
+    std::ofstream json(json_path);
+    json << std::setprecision(6) << std::boolalpha;
+    json << "{\n"
+         << "  \"bench\": \"micro_sweep_engine_persist\",\n"
+         << "  \"store_dir\": \"" << dir << "\",\n"
+         << "  \"cold\": {\"simulations\": " << cold_sims
+         << ", \"flushes\": " << cold.counters.persist.store.flushes
+         << ", \"entries_flushed\": "
+         << cold.counters.persist.store.entries_flushed
+         << ", \"wall_s\": " << cold.wall_s << "},\n"
+         << "  \"warm\": {\"simulations\": " << warm_sims
+         << ", \"entries_loaded\": "
+         << warm.counters.persist.store.entries_loaded
+         << ", \"resumed_points\": "
+         << warm.counters.persist.cache.resumed_points
+         << ", \"wall_s\": " << warm.wall_s << "},\n"
+         << "  \"faulted\": {\"simulations\": "
+         << faulted.counters.simulations << ", \"quarantined_segments\": "
+         << quarantined << ", \"corrupt_entries\": "
+         << faulted.counters.persist.store.corrupt_entries
+         << ", \"wall_s\": " << faulted.wall_s << "},\n"
+         << "  \"cold_warm_sim_ratio\": " << sim_ratio << ",\n"
+         << "  \"cold_warm_speedup\": " << speedup << ",\n"
+         << "  \"outputs_identical\": {\"warm\": " << warm_identical
+         << ", \"faulted\": " << faulted_identical << "},\n"
+         << "  \"pass\": " << pass << "\n"
+         << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return pass ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path = "BENCH_sweep.json";
+  std::string json_path;
+  std::string persist_dir;
   int jobs = 0;
   bool perf = false;
   for (int i = 1; i < argc; ++i) {
@@ -191,6 +301,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--json") {
       json_path = value();
+    } else if (arg == "--persist") {
+      persist_dir = value();
     } else if (arg == "--jobs") {
       const std::string v = value();
       try {
@@ -206,6 +318,13 @@ int main(int argc, char** argv) {
       usage_error(argv[0], "unknown flag '" + arg + "'");
     }
   }
+
+  if (!persist_dir.empty()) {
+    return run_persist_bench(
+        persist_dir, json_path.empty() ? "BENCH_persist.json" : json_path,
+        jobs);
+  }
+  if (json_path.empty()) json_path = "BENCH_sweep.json";
 
   std::cout << "== micro_sweep_engine: full figure/table pipeline set, "
                "legacy vs engine ==\n";

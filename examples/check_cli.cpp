@@ -16,11 +16,23 @@
 // pipelines over a thread pool; reports and artifacts are merged in
 // deterministic order, so serial and parallel runs stay byte-identical.
 //
+//   6. fuzzes the durable-segment parser (truncated, bit-flipped,
+//      version-bumped, magic-corrupted, garbage-tailed files): the
+//      loader must never crash, never deliver data from a bad segment,
+//      and quarantine deterministically;
+//   7. with --persist, replays the pipeline artifacts through a
+//      persistent engine and a second cold engine resuming from the
+//      same store (optionally under --inject-io faults) and requires
+//      byte-identical CSVs with zero re-simulations on the clean path.
+//
 //   ./check_cli [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]
-//               [--fuzz-cachesim <n>] [--jobs <n>] [--skip-invariants]
+//               [--fuzz-cachesim <n>] [--fuzz-segments <n>]
+//               [--persist <dir>] [--inject-io <plan>] [--jobs <n>]
+//               [--skip-invariants]
 //
 // Exit codes: 0 = all checks pass, 1 = violations or divergences,
 // 64 = usage error (matching the suite/bench CLI conventions).
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -36,6 +48,7 @@
 #include "kernels/register_all.hpp"
 #include "machine/descriptor.hpp"
 #include "obs/metrics.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace {
 
@@ -44,6 +57,9 @@ struct Options {
   std::optional<std::string> write_golden_dir;
   unsigned fuzz_seeds = 0;
   unsigned fuzz_cachesim_seeds = 4;
+  unsigned fuzz_segment_seeds = 4;
+  std::optional<std::string> persist_dir;
+  std::optional<sgp::resilience::FaultPlan> io_fault_plan;
   int jobs = 0;  ///< check/fuzz/engine workers; 0 = one per hw thread
   bool skip_invariants = false;
 };
@@ -52,7 +68,9 @@ struct Options {
   std::cerr << argv0 << ": " << what << "\n"
             << "usage: " << argv0
             << " [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]"
-               " [--fuzz-cachesim <n>] [--jobs <n>] [--skip-invariants]\n";
+               " [--fuzz-cachesim <n>] [--fuzz-segments <n>]"
+               " [--persist <dir>] [--inject-io <plan>] [--jobs <n>]"
+               " [--skip-invariants]\n";
   std::exit(64);
 }
 
@@ -82,6 +100,16 @@ Options parse_args(int argc, char** argv) {
       opt.fuzz_seeds = static_cast<unsigned>(number(value()));
     } else if (arg == "--fuzz-cachesim") {
       opt.fuzz_cachesim_seeds = static_cast<unsigned>(number(value()));
+    } else if (arg == "--fuzz-segments") {
+      opt.fuzz_segment_seeds = static_cast<unsigned>(number(value()));
+    } else if (arg == "--persist") {
+      opt.persist_dir = value();
+    } else if (arg == "--inject-io") {
+      try {
+        opt.io_fault_plan = sgp::resilience::FaultPlan::parse(value());
+      } catch (const std::exception& e) {
+        usage_error(argv[0], e.what());
+      }
     } else if (arg == "--jobs") {
       opt.jobs = static_cast<int>(number(value()));
     } else if (arg == "--skip-invariants") {
@@ -225,6 +253,79 @@ int main(int argc, char** argv) {
                 << " artifacts checked against " << *opt.golden_dir
                 << "\n";
     }
+  }
+
+  // 6. Durable-segment parser robustness fuzzing.
+  if (opt.fuzz_segment_seeds > 0) {
+    const std::string dir =
+        opt.persist_dir ? *opt.persist_dir + "/fuzz" : "check_segment_fuzz";
+    const auto report =
+        check::fuzz_segments(3000, opt.fuzz_segment_seeds, dir, opt.jobs);
+    std::cout << "segment fuzz over " << opt.fuzz_segment_seeds
+              << " seeds: " << report.points << " points, "
+              << report.violations.size() << " violations\n";
+    if (!report.ok()) {
+      failed = true;
+      print_violations(report);
+    }
+    if (!opt.persist_dir) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+
+  // 7. Checkpoint/resume identity: a persistent engine renders every
+  // pipeline and flushes its memo cache; a second cold engine resumes
+  // from the same store (under --inject-io faults if given) and must
+  // reproduce the CSVs byte-for-byte. Without injected faults the
+  // resumed run must not re-simulate anything.
+  if (opt.persist_dir) {
+    const std::string store_dir = *opt.persist_dir + "/store";
+    std::filesystem::remove_all(store_dir);
+    std::optional<resilience::FaultInjector> io_injector;
+    if (opt.io_fault_plan) io_injector.emplace(*opt.io_fault_plan, 77u);
+
+    engine::EnginePersistence persistence;
+    persistence.store.dir = store_dir;
+    persistence.store.injector = io_injector ? &*io_injector : nullptr;
+    persistence.note = "check_cli --persist";
+
+    engine::EngineOptions warm_opt{1, true, persistence};
+    std::vector<check::Artifact> cold_artifacts, warm_artifacts;
+    std::uint64_t warm_sims = 0, resumed = 0;
+    {
+      engine::SweepEngine cold(warm_opt);
+      cold_artifacts = check::run_all_artifacts(cold);
+    }  // destructor flushes the final segment
+    {
+      engine::SweepEngine resume(warm_opt);
+      warm_artifacts = check::run_all_artifacts(resume);
+      const auto c = resume.counters();
+      warm_sims = c.simulations;
+      resumed = c.persist.cache.resumed_points;
+    }
+
+    std::size_t divergences = 0;
+    for (std::size_t i = 0; i < cold_artifacts.size(); ++i) {
+      if (cold_artifacts[i].csv.text() != warm_artifacts[i].csv.text()) {
+        ++divergences;
+        failed = true;
+        std::cout << "DIVERGENCE " << cold_artifacts[i].name
+                  << ": resumed engine output differs from cold run\n";
+      }
+    }
+    // Injected faults may legitimately force re-simulation (a torn
+    // segment is quarantined and its points recomputed); without them
+    // a resumed run must be pure replay.
+    if (!opt.io_fault_plan && warm_sims != 0) {
+      failed = true;
+      std::cout << "DIVERGENCE persist-resume: " << warm_sims
+                << " re-simulations on a clean resume (expected 0)\n";
+    }
+    std::cout << "persist resume: " << cold_artifacts.size()
+              << " artifacts compared, " << divergences << " divergences, "
+              << resumed << " points resumed, " << warm_sims
+              << " re-simulations\n";
   }
 
   // Per-check metrics summary from the obs registry.

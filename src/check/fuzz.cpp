@@ -1,11 +1,15 @@
 #include "check/fuzz.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <sstream>
 #include <stdexcept>
 
 #include "cachesim/replay.hpp"
+#include "engine/persist.hpp"
 #include "kernels/register_all.hpp"
 #include "machine/placement.hpp"
 #include "obs/metrics.hpp"
@@ -239,6 +243,210 @@ CheckReport fuzz_cachesim(unsigned first_seed, unsigned num_seeds,
   return sharded_reports(num_seeds, jobs, [&](std::size_t i) {
     return cachesim_agreement(
         random_machine(first_seed + static_cast<unsigned>(i)));
+  });
+}
+
+// ------------------------------------------------- segment fuzzing --
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One seeded, random-but-valid segment: encoded cache entries with
+/// random fingerprints, breakdowns and note strings (empty through
+/// longer-than-a-cache-line, to stress the variable-length tail).
+std::vector<std::vector<std::byte>> random_payloads(std::mt19937_64& rng) {
+  const std::size_t n = rng() % 6;  // 0..5 entries; 0 = empty segment
+  std::vector<std::vector<std::byte>> payloads;
+  payloads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    engine::CacheKey key{rng(), rng(), rng()};
+    sim::TimeBreakdown tb;
+    auto real = [&rng] {
+      return static_cast<double>(rng() % 1'000'000) * 1e-6;
+    };
+    tb.compute_s = real();
+    tb.memory_s = real();
+    tb.sync_s = real();
+    tb.atomic_s = real();
+    tb.total_s = tb.compute_s + tb.memory_s + tb.sync_s + tb.atomic_s;
+    tb.serving = static_cast<sim::MemLevel>(rng() % 4);
+    tb.vector_path = (rng() % 2) != 0;
+    const std::size_t note_len = rng() % 96;
+    tb.note.reserve(note_len);
+    for (std::size_t c = 0; c < note_len; ++c) {
+      tb.note.push_back(static_cast<char>(' ' + rng() % 95));
+    }
+    payloads.push_back(engine::encode_cache_entry(key, tb));
+  }
+  return payloads;
+}
+
+enum class Mutation {
+  Truncate,    ///< drop a random non-zero tail (torn write / crash)
+  BitFlip,     ///< flip one random bit anywhere in the file
+  VersionBump, ///< set the version field to an unknown value
+  BadMagic,    ///< destroy a random magic byte
+  Trailing,    ///< append random garbage after the last entry
+  kCount
+};
+
+/// Applies `m` to `bytes` in place, deterministically from `rng`.
+void mutate(std::vector<std::byte>& bytes, Mutation m, std::mt19937_64& rng) {
+  switch (m) {
+    case Mutation::Truncate:
+      bytes.resize(rng() % bytes.size());  // strictly shorter
+      break;
+    case Mutation::BitFlip: {
+      const std::uint64_t bit = rng() % (bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+      break;
+    }
+    case Mutation::VersionBump: {
+      // Version field is bytes [8, 12); force a value != kSegmentVersion.
+      const std::uint32_t v =
+          engine::kSegmentVersion + 1 + static_cast<std::uint32_t>(rng() % 7);
+      for (int i = 0; i < 4; ++i) {
+        bytes[8 + static_cast<std::size_t>(i)] =
+            static_cast<std::byte>((v >> (8 * i)) & 0xff);
+      }
+      break;
+    }
+    case Mutation::BadMagic:
+      bytes[rng() % 8] ^= static_cast<std::byte>(0x80 | (rng() % 0x7f + 1));
+      break;
+    case Mutation::Trailing: {
+      const std::size_t extra = 1 + rng() % 32;
+      for (std::size_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<std::byte>(rng() % 256));
+      }
+      break;
+    }
+    case Mutation::kCount:
+      break;
+  }
+}
+
+const char* mutation_name(Mutation m) {
+  switch (m) {
+    case Mutation::Truncate: return "truncate";
+    case Mutation::BitFlip: return "bitflip";
+    case Mutation::VersionBump: return "version-bump";
+    case Mutation::BadMagic: return "bad-magic";
+    case Mutation::Trailing: return "trailing-garbage";
+    case Mutation::kCount: break;
+  }
+  return "?";
+}
+
+void add_segment_violation(CheckReport& report, unsigned seed,
+                           const std::string& stage,
+                           const std::string& detail) {
+  obs::registry().counter("check.persist-segment-robustness.violations").add();
+  report.violations.push_back(Violation{
+      "persist-segment-robustness", "segment-fuzz",
+      "seed-" + std::to_string(seed), stage, detail});
+}
+
+}  // namespace
+
+CheckReport fuzz_segments(unsigned first_seed, unsigned num_seeds,
+                          const std::string& dir, int jobs) {
+  fs::create_directories(dir);
+  return sharded_reports(num_seeds, jobs, [&](std::size_t i) {
+    const unsigned seed = first_seed + static_cast<unsigned>(i);
+    CheckReport shard;
+    auto point = [&shard] {
+      ++shard.points;
+      obs::registry().counter("check.persist-segment-robustness.points").add();
+    };
+
+    std::mt19937_64 rng(seed);
+    const auto payloads = random_payloads(rng);
+    std::vector<std::byte> bytes = engine::build_segment(payloads);
+
+    // 1. The untouched segment round-trips: status Ok, every payload
+    //    delivered byte-identically, in order.
+    {
+      std::vector<std::vector<std::byte>> got;
+      const auto parse = engine::parse_segment(
+          bytes, [&](std::span<const std::byte> p) {
+            got.emplace_back(p.begin(), p.end());
+          });
+      point();
+      if (parse.status != engine::SegmentStatus::Ok || got != payloads) {
+        add_segment_violation(
+            shard, seed, "round-trip",
+            "status=" + std::string(engine::to_string(parse.status)) +
+                " delivered=" + std::to_string(got.size()) + "/" +
+                std::to_string(payloads.size()));
+      }
+    }
+
+    // 2. A seeded mutation must be detected: non-Ok status, zero
+    //    payloads delivered, and the classification is deterministic
+    //    (parsing the same bytes twice agrees).
+    const auto m = static_cast<Mutation>(
+        rng() % static_cast<std::uint64_t>(Mutation::kCount));
+    mutate(bytes, m, rng);
+    std::uint64_t delivered = 0;
+    const auto first = engine::parse_segment(
+        bytes, [&](std::span<const std::byte>) { ++delivered; });
+    const auto second = engine::parse_segment(
+        bytes, [](std::span<const std::byte>) {});
+    point();
+    if (first.status == engine::SegmentStatus::Ok || delivered != 0) {
+      add_segment_violation(
+          shard, seed, mutation_name(m),
+          "mutation not detected: status=" +
+              std::string(engine::to_string(first.status)) +
+              " delivered=" + std::to_string(delivered));
+    } else if (first.status != second.status) {
+      add_segment_violation(
+          shard, seed, mutation_name(m),
+          "nondeterministic classification: " +
+              std::string(engine::to_string(first.status)) + " vs " +
+              std::string(engine::to_string(second.status)));
+    }
+
+    // 3. The file loader agrees with the in-memory parse and leaves the
+    //    right artifacts: quarantine for BadMagic/Corrupt, the file
+    //    refused in place for BadVersion.
+    const std::string path =
+        (fs::path(dir) / ("fuzz-" + std::to_string(seed) + ".sgpc"))
+            .string();
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    const auto loaded = engine::load_segment_file(
+        path, [](std::span<const std::byte>) {}, nullptr, /*warn=*/false);
+    const bool expect_quarantine =
+        loaded.status == engine::SegmentStatus::BadMagic ||
+        loaded.status == engine::SegmentStatus::Corrupt;
+    const bool quarantined = fs::exists(path + ".quarantine");
+    const bool in_place = fs::exists(path);
+    point();
+    if (loaded.status != first.status) {
+      add_segment_violation(
+          shard, seed, mutation_name(m),
+          "loader/parser disagree: " +
+              std::string(engine::to_string(loaded.status)) + " vs " +
+              std::string(engine::to_string(first.status)));
+    } else if (quarantined != expect_quarantine ||
+               in_place == expect_quarantine) {
+      add_segment_violation(
+          shard, seed, mutation_name(m),
+          "wrong disk artifact for " +
+              std::string(engine::to_string(loaded.status)) +
+              ": quarantined=" + (quarantined ? "yes" : "no") +
+              " in_place=" + (in_place ? "yes" : "no"));
+    }
+    std::error_code ec;
+    fs::remove(path, ec);
+    fs::remove(path + ".quarantine", ec);
+    return shard;
   });
 }
 

@@ -2,6 +2,20 @@
 
 namespace sgp::engine {
 
+void SimCache::count_hit(Entry& e) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  obs_hits_.add();
+  if (tracking() && e.from_disk) {
+    persist_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs_persist_hits_.add();
+    if (!e.resume_counted) {
+      e.resume_counted = true;
+      persist_resumed_.fetch_add(1, std::memory_order_relaxed);
+      obs_persist_resumed_.add();
+    }
+  }
+}
+
 sim::TimeBreakdown SimCache::get_or_compute(
     const CacheKey& key,
     const std::function<sim::TimeBreakdown()>& compute) {
@@ -10,21 +24,31 @@ sim::TimeBreakdown SimCache::get_or_compute(
     std::lock_guard<std::mutex> lock(s.mu);
     const auto it = s.map.find(key);
     if (it != s.map.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      obs_hits_.add();
-      return it->second;
+      count_hit(it->second);
+      return it->second.value;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   obs_misses_.add();
+  if (tracking()) {
+    persist_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs_persist_misses_.add();
+  }
   sim::TimeBreakdown value = compute();
   {
     std::lock_guard<std::mutex> lock(s.mu);
     // If another thread raced us to the same key, keep its entry; the
     // compute function is pure, so the values are identical anyway and
     // "first insert wins" keeps the hit-equality contract trivially true.
-    const auto [it, inserted] = s.map.emplace(key, std::move(value));
-    return it->second;
+    const auto [it, inserted] =
+        s.map.emplace(key, Entry{std::move(value), false, false});
+    if (inserted && tracking()) {
+      // Only the winning insert queues for persistence, so a flush
+      // writes each computed point exactly once.
+      s.fresh.push_back(key);
+      fresh_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return it->second.value;
   }
 }
 
@@ -37,14 +61,38 @@ std::optional<sim::TimeBreakdown> SimCache::find(const CacheKey& key) {
     obs_misses_.add();
     return std::nullopt;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  obs_hits_.add();
-  return it->second;
+  count_hit(it->second);
+  return it->second.value;
+}
+
+void SimCache::insert_loaded(const CacheKey& key,
+                             const sim::TimeBreakdown& value) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.map.emplace(key, Entry{value, true, false});
+}
+
+std::vector<std::pair<CacheKey, sim::TimeBreakdown>> SimCache::drain_fresh() {
+  std::vector<std::pair<CacheKey, sim::TimeBreakdown>> out;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const CacheKey& key : s.fresh) {
+      const auto it = s.map.find(key);
+      // clear() may have raced the queue away; skip silently — a
+      // dropped entry simply recomputes next time.
+      if (it != s.map.end()) out.emplace_back(key, it->second.value);
+    }
+    fresh_count_.fetch_sub(s.fresh.size(), std::memory_order_relaxed);
+    s.fresh.clear();
+  }
+  return out;
 }
 
 void SimCache::clear() {
   for (Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mu);
+    fresh_count_.fetch_sub(s.fresh.size(), std::memory_order_relaxed);
+    s.fresh.clear();
     s.map.clear();
   }
 }
@@ -60,9 +108,20 @@ CacheStats SimCache::stats() const {
   return out;
 }
 
+CachePersistStats SimCache::persist_stats() const {
+  CachePersistStats out;
+  out.hits = persist_hits_.load(std::memory_order_relaxed);
+  out.misses = persist_misses_.load(std::memory_order_relaxed);
+  out.resumed_points = persist_resumed_.load(std::memory_order_relaxed);
+  return out;
+}
+
 void SimCache::reset_stats() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  persist_hits_.store(0, std::memory_order_relaxed);
+  persist_misses_.store(0, std::memory_order_relaxed);
+  persist_resumed_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sgp::engine

@@ -8,6 +8,13 @@
 // Compute callbacks run *outside* the shard lock; if two threads race
 // on the same missing key, both compute (the function is pure, so the
 // values are identical) and the first insert wins.
+//
+// Persistence hooks (used by the engine's durable store, see
+// engine/persist.hpp): entries remember whether they were loaded from
+// disk, freshly-computed entries queue in a per-shard "fresh" list the
+// flush path drains, and disk-origin hits feed the persist.* counters.
+// Every hook takes the same shard locks as the lookup path, so the
+// flush thread, concurrent lookups, clear() and stats() are race-free.
 #pragma once
 
 #include <array>
@@ -17,6 +24,8 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -49,6 +58,14 @@ struct CacheStats {
   std::uint64_t entries = 0;
 };
 
+/// Per-instance persistence accounting (mirrored process-wide into the
+/// obs registry as persist.hits / persist.misses / persist.resumed_points).
+struct CachePersistStats {
+  std::uint64_t hits = 0;    ///< lookups served by a disk-loaded entry
+  std::uint64_t misses = 0;  ///< lookups that had to compute
+  std::uint64_t resumed_points = 0;  ///< distinct disk entries reused
+};
+
 class SimCache {
  public:
   /// Returns the cached breakdown for `key`, or runs `compute`, stores
@@ -66,22 +83,68 @@ class SimCache {
   CacheStats stats() const;
   void reset_stats();
 
+  // ------------------------------------------- persistence hooks --
+
+  /// Turns on disk-origin accounting and fresh-entry tracking. Off by
+  /// default so non-persistent engines pay nothing and emit no
+  /// persist.* counters.
+  void set_persist_tracking(bool on) {
+    persist_tracking_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Inserts an entry recovered from the durable store. No effect on
+  /// hit/miss statistics; never queues into the fresh list. An entry
+  /// already present (e.g. duplicated across segments) is kept as-is.
+  void insert_loaded(const CacheKey& key, const sim::TimeBreakdown& value);
+
+  /// Removes and returns every freshly-computed entry queued since the
+  /// last drain, for the flush path. Safe against concurrent inserts;
+  /// an entry is returned exactly once across all drains.
+  std::vector<std::pair<CacheKey, sim::TimeBreakdown>> drain_fresh();
+
+  /// Entries currently queued for the next drain.
+  std::uint64_t fresh_entries() const noexcept {
+    return fresh_count_.load(std::memory_order_relaxed);
+  }
+
+  CachePersistStats persist_stats() const;
+
  private:
   static constexpr std::size_t kShards = 16;
+
+  struct Entry {
+    sim::TimeBreakdown value;
+    bool from_disk = false;
+    bool resume_counted = false;  ///< first disk-hit already tallied
+  };
 
   struct Shard {
     /// mutable: stats() locks shards on a const cache.
     mutable std::mutex mu;
-    std::unordered_map<CacheKey, sim::TimeBreakdown, CacheKeyHash> map;
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> map;
+    /// Keys inserted by compute since the last drain (persist only).
+    std::vector<CacheKey> fresh;
   };
 
   Shard& shard_of(const CacheKey& key) {
     return shards_[CacheKeyHash{}(key) % kShards];
   }
 
+  bool tracking() const noexcept {
+    return persist_tracking_.load(std::memory_order_relaxed);
+  }
+
+  /// Tallies a hit on `e` under the owning shard's lock.
+  void count_hit(Entry& e);
+
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<bool> persist_tracking_{false};
+  std::atomic<std::uint64_t> fresh_count_{0};
+  std::atomic<std::uint64_t> persist_hits_{0};
+  std::atomic<std::uint64_t> persist_misses_{0};
+  std::atomic<std::uint64_t> persist_resumed_{0};
   /// Process-wide mirrors of the per-instance statistics, aggregated
   /// over every SimCache in the obs registry ("engine.cache.*"), so a
   /// metrics snapshot carries the cache story without asking each
@@ -90,6 +153,12 @@ class SimCache {
       obs::registry().counter("engine.cache.hits");
   obs::Counter& obs_misses_ =
       obs::registry().counter("engine.cache.misses");
+  obs::Counter& obs_persist_hits_ =
+      obs::registry().counter("persist.hits");
+  obs::Counter& obs_persist_misses_ =
+      obs::registry().counter("persist.misses");
+  obs::Counter& obs_persist_resumed_ =
+      obs::registry().counter("persist.resumed_points");
 };
 
 }  // namespace sgp::engine

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -29,9 +30,97 @@ struct EngineMetrics {
 
 SweepEngine::SweepEngine(EngineOptions opt)
     : jobs_(threading::recommended_jobs(opt.jobs)),
-      use_cache_(opt.use_cache) {}
+      use_cache_(opt.use_cache) {
+  if (!opt.persist || !use_cache_) return;
+  store_ = std::make_unique<PersistentStore>(opt.persist->store);
+  flush_min_entries_ = std::max<std::size_t>(1, opt.persist->flush_min_entries);
+  persist_note_ = opt.persist->note;
+  cache_.set_persist_tracking(true);
+  {
+    const obs::Span span("SweepEngine::persist_load");
+    store_->load([&](std::span<const std::byte> payload) {
+      if (const auto entry = decode_cache_entry(payload)) {
+        cache_.insert_loaded(entry->first, entry->second);
+      } else {
+        // The frame verified but the payload is not a cache entry this
+        // build understands — count it and move on, never abort.
+        undecodable_entries_.fetch_add(1, std::memory_order_relaxed);
+        obs::registry().counter("persist.corrupt_entries").add();
+      }
+    });
+  }
+  if (opt.persist->flush_interval_ms > 0.0) {
+    const double interval_ms = opt.persist->flush_interval_ms;
+    flush_thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lk(flush_cv_mu_);
+      for (;;) {
+        flush_cv_.wait_for(
+            lk, std::chrono::duration<double, std::milli>(interval_ms),
+            [this] { return stop_flusher_; });
+        if (stop_flusher_) return;
+        lk.unlock();
+        if (cache_.fresh_entries() > 0 ||
+            pending_count_.load(std::memory_order_relaxed) > 0) {
+          flush_persistent();
+        }
+        lk.lock();
+      }
+    });
+  }
+}
 
-SweepEngine::~SweepEngine() = default;
+SweepEngine::~SweepEngine() {
+  stop_flusher();
+  if (store_) {
+    // Best-effort final checkpoint; persistence failures must never
+    // take down a process that computed its results successfully.
+    try {
+      flush_persistent();
+    } catch (...) {
+    }
+  }
+}
+
+void SweepEngine::stop_flusher() {
+  if (!flush_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(flush_cv_mu_);
+    stop_flusher_ = true;
+  }
+  flush_cv_.notify_all();
+  flush_thread_.join();
+}
+
+bool SweepEngine::flush_persistent() {
+  if (!store_) return true;
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  auto fresh = cache_.drain_fresh();
+  pending_.insert(pending_.end(),
+                  std::make_move_iterator(fresh.begin()),
+                  std::make_move_iterator(fresh.end()));
+  pending_count_.store(pending_.size(), std::memory_order_relaxed);
+  if (pending_.empty()) return true;
+  const obs::Span span("SweepEngine::persist_flush");
+  std::vector<std::vector<std::byte>> payloads;
+  payloads.reserve(pending_.size());
+  for (const auto& [key, value] : pending_) {
+    payloads.push_back(encode_cache_entry(key, value));
+  }
+  if (!store_->append(payloads)) return false;  // entries stay queued
+  pending_.clear();
+  pending_count_.store(0, std::memory_order_relaxed);
+  store_->write_manifest(persist_note_);
+  return true;
+}
+
+void SweepEngine::maybe_flush() {
+  if (!store_) return;
+  if (cache_.fresh_entries() +
+          pending_count_.load(std::memory_order_relaxed) >=
+      flush_min_entries_) {
+    flush_persistent();
+  }
+}
 
 void SweepEngine::set_jobs(int jobs) {
   const int resolved = threading::recommended_jobs(jobs);
@@ -72,7 +161,9 @@ sim::TimeBreakdown SweepEngine::run_point(const SweepPoint& p) {
 sim::TimeBreakdown SweepEngine::run(const machine::MachineDescriptor& m,
                                     const core::KernelSignature& sig,
                                     const sim::SimConfig& cfg) {
-  return run_point(SweepPoint{&m, &sig, cfg});
+  sim::TimeBreakdown out = run_point(SweepPoint{&m, &sig, cfg});
+  maybe_flush();
+  return out;
 }
 
 std::vector<sim::TimeBreakdown> SweepEngine::run_batch(
@@ -86,6 +177,7 @@ std::vector<sim::TimeBreakdown> SweepEngine::run_batch(
     for (std::size_t i = 0; i < points.size(); ++i) {
       results[i] = run_point(points[i]);
     }
+    maybe_flush();
     return results;
   }
   if (!pool_) pool_ = std::make_unique<threading::ThreadPool>(jobs_);
@@ -100,6 +192,7 @@ std::vector<sim::TimeBreakdown> SweepEngine::run_batch(
           results[i] = run_point(points[i]);
         }
       });
+  maybe_flush();
   return results;
 }
 
@@ -180,6 +273,16 @@ EngineCounters SweepEngine::counters() const {
   {
     std::lock_guard<std::mutex> lock(phases_mu_);
     out.phases = phases_;
+  }
+  if (store_) {
+    out.persist.enabled = true;
+    out.persist.store = store_->stats();
+    out.persist.cache = cache_.persist_stats();
+    out.persist.undecodable_entries =
+        undecodable_entries_.load(std::memory_order_relaxed);
+    out.persist.pending_entries =
+        pending_count_.load(std::memory_order_relaxed) +
+        cache_.fresh_entries();
   }
   return out;
 }

@@ -24,16 +24,21 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/cache.hpp"
 #include "engine/fingerprint.hpp"
+#include "engine/persist.hpp"
 #include "obs/trace.hpp"
 
 namespace sgp::threading {
@@ -42,6 +47,21 @@ class ThreadPool;
 
 namespace sgp::engine {
 
+/// Durable memo-cache + checkpoint/resume configuration. When set (and
+/// the cache is on), the engine loads every verified segment from
+/// `store.dir` at construction — so an interrupted sweep replays only
+/// its missing points — and flushes freshly-computed results back as
+/// new segments: at the end of any batch once `flush_min_entries` have
+/// accumulated, from a background flush thread every
+/// `flush_interval_ms` (0 disables the thread), and at destruction.
+struct EnginePersistence {
+  PersistOptions store;  ///< directory, I/O fault injection, flush retry
+  std::size_t flush_min_entries = 256;
+  double flush_interval_ms = 0.0;
+  /// Free-text sweep identity recorded in the store's sweep.manifest.
+  std::string note;
+};
+
 struct EngineOptions {
   /// Worker threads for batches: 1 = forced serial, 0 = one per
   /// hardware thread (threading::recommended_jobs).
@@ -49,6 +69,9 @@ struct EngineOptions {
   /// false replicates the pre-engine behaviour (every request runs the
   /// simulator); used for A/B accounting in bench/micro_sweep_engine.
   bool use_cache = true;
+  /// Crash-safe persistence; disabled by default (and ignored when
+  /// use_cache is false — there is nothing to persist).
+  std::optional<EnginePersistence> persist;
 };
 
 /// Wall time and request volume attributed to one named phase.
@@ -56,6 +79,15 @@ struct PhaseStat {
   std::string name;
   double wall_s = 0.0;
   std::uint64_t requests = 0;
+};
+
+/// Persistence-side accounting, filled only when a store is attached.
+struct EnginePersistCounters {
+  bool enabled = false;
+  PersistStats store;       ///< segment-level loads/flushes/quarantines
+  CachePersistStats cache;  ///< persist.hits / misses / resumed_points
+  std::uint64_t undecodable_entries = 0;  ///< verified frames that failed decode
+  std::uint64_t pending_entries = 0;      ///< computed but not yet durable
 };
 
 struct EngineCounters {
@@ -67,6 +99,7 @@ struct EngineCounters {
   std::uint64_t batches = 0;      ///< run_batch/run_grid calls
   std::uint64_t cache_entries = 0;
   std::vector<PhaseStat> phases;  ///< in first-use order
+  EnginePersistCounters persist;
 };
 
 /// One evaluation point for run_batch. The machine and signature are
@@ -142,8 +175,26 @@ class SweepEngine {
   EngineCounters counters() const;
   void reset_counters();
   /// Drops all memoized results and per-machine simulators. Not
-  /// thread-safe against in-flight batches.
+  /// thread-safe against in-flight batches. Durable segments on disk
+  /// are untouched (delete the store directory to really start cold).
   void clear_cache();
+
+  // ----------------------------------------------- persistence --
+
+  /// True when a durable store is attached.
+  bool persistent() const noexcept { return store_ != nullptr; }
+
+  /// Drains freshly-computed entries and appends them as one segment
+  /// (write-temp-then-rename, retried under the store's policy).
+  /// Returns true when nothing remains queued; on failure the entries
+  /// stay queued in memory for the next flush. Safe to call from any
+  /// thread; a no-op without a store.
+  bool flush_persistent();
+
+  /// The attached store, for tests/diagnostics (nullptr when none).
+  const PersistentStore* persistent_store() const noexcept {
+    return store_.get();
+  }
 
  private:
   const sim::Simulator& simulator_for(const machine::MachineDescriptor& m,
@@ -151,10 +202,27 @@ class SweepEngine {
   sim::TimeBreakdown run_point(const SweepPoint& p);
   void finish_phase(std::size_t index, double wall_s,
                     std::uint64_t requests);
+  void maybe_flush();
+  void stop_flusher();
 
   int jobs_;
   const bool use_cache_;
   SimCache cache_;
+
+  // Persistence (all null/zero when EngineOptions.persist is unset).
+  std::unique_ptr<PersistentStore> store_;
+  std::size_t flush_min_entries_ = 0;
+  std::string persist_note_;
+  std::atomic<std::uint64_t> undecodable_entries_{0};
+  /// Guards pending_ and serializes flushes (including the final one
+  /// in the destructor) against the background flush thread.
+  std::mutex flush_mu_;
+  std::vector<std::pair<CacheKey, sim::TimeBreakdown>> pending_;
+  std::atomic<std::uint64_t> pending_count_{0};
+  std::thread flush_thread_;
+  std::condition_variable flush_cv_;
+  std::mutex flush_cv_mu_;
+  bool stop_flusher_ = false;  ///< guarded by flush_cv_mu_
 
   std::mutex sims_mu_;
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::Simulator>> sims_;

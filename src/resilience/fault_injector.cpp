@@ -94,6 +94,14 @@ FaultPlan FaultPlan::parse(std::string_view text) {
       spec.kind = FaultKind::Throw;
     } else if (kind == "nan") {
       spec.kind = FaultKind::CorruptChecksum;
+    } else if (kind == "torn") {
+      spec.kind = FaultKind::TornWrite;
+    } else if (kind == "enospc") {
+      spec.kind = FaultKind::NoSpace;
+    } else if (kind == "bitflip") {
+      spec.kind = FaultKind::BitFlipRead;
+    } else if (kind == "renamefail") {
+      spec.kind = FaultKind::RenameFail;
     } else if (kind == "delay") {
       spec.kind = FaultKind::Delay;
       if (fields.size() < 3) {
@@ -104,8 +112,9 @@ FaultPlan FaultPlan::parse(std::string_view text) {
       spec.delay_ms = parse_number(fields[2], "delay");
       next_field = 3;
     } else {
-      throw std::invalid_argument("FaultPlan: unknown fault kind '" + kind +
-                                  "' (throw | nan | delay)");
+      throw std::invalid_argument(
+          "FaultPlan: unknown fault kind '" + kind +
+          "' (throw | nan | delay | torn | enospc | bitflip | renamefail)");
     }
     if (fields.size() > next_field + 1) {
       throw std::invalid_argument("FaultPlan: trailing fields in '" + entry +
@@ -143,7 +152,14 @@ ArmedFault FaultInjector::arm(std::string_view kernel) {
     }
     if (st.remaining > 0) --st.remaining;
     ++st.armed;
-    return ArmedFault{st.spec.kind, st.spec.delay_ms};
+    std::uint64_t entropy = 0;
+    if (st.spec.kind == FaultKind::TornWrite ||
+        st.spec.kind == FaultKind::BitFlipRead) {
+      // Two 32-bit draws keep the position/length deterministic for a
+      // given (plan, seed) regardless of how other specs drew.
+      entropy = (static_cast<std::uint64_t>(st.rng()) << 32) | st.rng();
+    }
+    return ArmedFault{st.spec.kind, st.spec.delay_ms, entropy};
   }
   return ArmedFault{};
 }

@@ -6,6 +6,7 @@
 // seeded RNG so probabilistic faults are reproducible across runs.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <random>
 #include <string>
@@ -19,6 +20,16 @@ enum class FaultKind {
   Throw,            ///< throw InjectedFault from inside a kernel chunk
   CorruptChecksum,  ///< replace the kernel's checksum with NaN
   Delay,            ///< sleep inside a kernel chunk (straggler)
+  // Filesystem fault points. These are armed at I/O *sites* instead of
+  // kernels: the persistence layer asks for "persist.write",
+  // "persist.rename" and "persist.read" around each operation, so a
+  // plan like "persist.write:torn:1" tears exactly the first segment
+  // flush. The entropy word in the ArmedFault picks the torn length /
+  // flipped bit deterministically from the per-site seeded RNG.
+  TornWrite,   ///< write reports success but only a prefix reaches disk
+  NoSpace,     ///< write fails as if the device returned ENOSPC
+  BitFlipRead, ///< one bit of the read buffer flips (marginal medium)
+  RenameFail,  ///< the atomic temp-to-final rename fails
 };
 
 constexpr std::string_view to_string(FaultKind k) noexcept {
@@ -27,8 +38,19 @@ constexpr std::string_view to_string(FaultKind k) noexcept {
     case FaultKind::Throw:           return "throw";
     case FaultKind::CorruptChecksum: return "nan";
     case FaultKind::Delay:           return "delay";
+    case FaultKind::TornWrite:       return "torn";
+    case FaultKind::NoSpace:         return "enospc";
+    case FaultKind::BitFlipRead:     return "bitflip";
+    case FaultKind::RenameFail:      return "renamefail";
   }
   return "?";
+}
+
+/// True for the fault kinds that target filesystem operations rather
+/// than kernel execution.
+constexpr bool is_io_fault(FaultKind k) noexcept {
+  return k == FaultKind::TornWrite || k == FaultKind::NoSpace ||
+         k == FaultKind::BitFlipRead || k == FaultKind::RenameFail;
 }
 
 /// One injection rule, scoped to a kernel name ("*" matches any kernel).
@@ -43,14 +65,21 @@ struct FaultSpec {
 /// An ordered set of FaultSpecs, parseable from the CLI/text form:
 ///
 ///   plan   := spec (',' spec)*
-///   spec   := kernel ':' kind
-///   kind   := 'throw' ['@' prob] [':' triggers]
-///           | 'nan'   ['@' prob] [':' triggers]
-///           | 'delay' ['@' prob] ':' millis [':' triggers]
+///   spec   := site ':' kind
+///   site   := kernel name | I/O site ("persist.write", "persist.read",
+///             "persist.rename") | '*'
+///   kind   := 'throw'      ['@' prob] [':' triggers]
+///           | 'nan'        ['@' prob] [':' triggers]
+///           | 'delay'      ['@' prob] ':' millis [':' triggers]
+///           | 'torn'       ['@' prob] [':' triggers]
+///           | 'enospc'     ['@' prob] [':' triggers]
+///           | 'bitflip'    ['@' prob] [':' triggers]
+///           | 'renamefail' ['@' prob] [':' triggers]
 ///
 /// e.g. "MUL:throw,DOT:nan,TRIAD:delay:250" or a transient
 /// first-attempt-only fault "MUL:throw:1", or a seeded intermittent
-/// fault "COPY:throw@0.5".
+/// fault "COPY:throw@0.5", or a torn first segment flush
+/// "persist.write:torn:1".
 class FaultPlan {
  public:
   /// Parses the text form; throws std::invalid_argument on bad syntax.
@@ -70,6 +99,10 @@ class FaultPlan {
 struct ArmedFault {
   FaultKind kind = FaultKind::None;
   double delay_ms = 0.0;
+  /// Deterministic randomness for faults that need a position or a
+  /// length (BitFlipRead, TornWrite); drawn from the spec's seeded RNG
+  /// when the fault arms, 0 otherwise.
+  std::uint64_t entropy = 0;
 };
 
 /// Stateful, thread-safe dispenser of faults. Each arm() call consumes

@@ -12,6 +12,9 @@ void RetryPolicy::validate() const {
       backoff_multiplier < 1.0) {
     throw std::invalid_argument("RetryPolicy: bad backoff parameters");
   }
+  if (jitter < 0.0 || jitter >= 1.0) {
+    throw std::invalid_argument("RetryPolicy: jitter must be in [0, 1)");
+  }
 }
 
 Watchdog::Watchdog(std::chrono::steady_clock::time_point deadline,

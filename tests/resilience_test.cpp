@@ -4,6 +4,7 @@
 // surviving a keep-going run with typed outcomes).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -126,6 +127,56 @@ TEST(RetryPolicy, ValidateRejectsNonsense) {
   r = RetryPolicy{};
   r.backoff_initial_ms = -1.0;
   EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = RetryPolicy{};
+  r.jitter = -0.1;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r = RetryPolicy{};
+  r.jitter = 1.0;  // the factor could hit 2x-and-beyond; refuse
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(RetryPolicy, JitterIsSeedDeterministicAndBounded) {
+  RetryPolicy r;
+  r.max_attempts = 6;
+  r.backoff_initial_ms = 10.0;
+  r.backoff_multiplier = 2.0;
+  r.backoff_max_ms = 1000.0;
+  r.jitter = 0.5;
+
+  bool any_jittered = false;
+  for (int k = 1; k <= 5; ++k) {
+    const double exact = std::min(10.0 * std::pow(2.0, k - 1), 1000.0);
+    const double d = r.backoff_ms(k);
+    // Deterministic: same policy + seed + retry index => same delay.
+    EXPECT_DOUBLE_EQ(d, RetryPolicy{r}.backoff_ms(k));
+    // Bounded: within +-jitter of the exponential schedule and the cap.
+    EXPECT_GE(d, exact * (1.0 - r.jitter));
+    EXPECT_LT(d, exact * (1.0 + r.jitter));
+    EXPECT_LE(d, r.backoff_max_ms);
+    if (d != exact) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered);  // jitter actually perturbs the schedule
+
+  // A different seed spreads differently (the fleet-desync property).
+  RetryPolicy other = r;
+  other.jitter_seed = r.jitter_seed + 1;
+  bool any_differs = false;
+  for (int k = 1; k <= 5; ++k) {
+    if (other.backoff_ms(k) != r.backoff_ms(k)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(RetryPolicy, ZeroJitterKeepsTheExactSchedule) {
+  RetryPolicy r;
+  r.max_attempts = 4;
+  r.backoff_initial_ms = 10.0;
+  r.backoff_multiplier = 2.0;
+  r.backoff_max_ms = 35.0;
+  r.jitter = 0.0;  // the default: byte-compatible with the old policy
+  EXPECT_DOUBLE_EQ(r.backoff_ms(1), 10.0);
+  EXPECT_DOUBLE_EQ(r.backoff_ms(2), 20.0);
+  EXPECT_DOUBLE_EQ(r.backoff_ms(3), 35.0);
 }
 
 // ------------------------------------------------------------- guards --
