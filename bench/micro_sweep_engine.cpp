@@ -13,8 +13,11 @@
 // It asserts the rendered outputs (tables + CSV text) are byte
 // identical between the passes, between a parallel and a forced-serial
 // engine, and between a first and a reuse (all-hits) run, then writes
-// the counters to BENCH_sweep.json. Exits 1 if any outputs differ or
-// the Simulator::run reduction is below 5x.
+// the counters to BENCH_sweep.json. Exits 1 if any outputs differ, the
+// Simulator::run reduction is below 5x, or the legacy pass's raw
+// simulator throughput (EngineCounters::sims_per_second) falls below
+// kMinSimsPerSecond (--identity-only skips the throughput gate for
+// instrumented builds).
 //
 // --persist <dir> instead benchmarks the durable memo cache: a cold
 // persistent pass populates <dir>, a warm pass in a fresh engine must
@@ -34,6 +37,16 @@
 namespace {
 
 using namespace sgp;
+
+/// Simulator::run throughput floor (simulations per aggregate
+/// simulation-second, EngineCounters::sims_per_second) gated on the
+/// legacy pass, which runs every point uncached and so measures the raw
+/// hot path. Per-thread time, so the gate is independent of worker
+/// count and machine load. Measured ~140k/s on the 1-core CI box in an
+/// uninstrumented build; the floor sits ~4x below that so only a real
+/// hot-path regression (not timer noise) can trip it. Sanitizer builds
+/// pass --identity-only and skip it.
+constexpr double kMinSimsPerSecond = 30000.0;
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -182,7 +195,7 @@ PassResult run_pass(engine::SweepEngine& eng, bool legacy_mode) {
 [[noreturn]] void usage_error(const char* prog, const std::string& what) {
   std::cerr << prog << ": " << what << "\n"
             << "usage: " << prog << " [--json <path>] [--jobs <n>]"
-            << " [--perf] [--persist <dir>]\n";
+            << " [--perf] [--persist <dir>] [--identity-only]\n";
   std::exit(64);
 }
 
@@ -293,6 +306,10 @@ int main(int argc, char** argv) {
   std::string persist_dir;
   int jobs = 0;
   bool perf = false;
+  // Skips the wall-clock throughput gate (sims/second); identity and
+  // simulation-count gates still apply. For sanitizer builds, whose
+  // instrumentation slows the simulator by an order of magnitude.
+  bool identity_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -314,6 +331,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--perf") {
       perf = true;
+    } else if (arg == "--identity-only") {
+      identity_only = true;
     } else {
       usage_error(argv[0], "unknown flag '" + arg + "'");
     }
@@ -358,8 +377,14 @@ int main(int argc, char** argv) {
           ? double(legacy.counters.simulations) /
                 double(first.counters.simulations)
           : 0.0;
+  // Throughput gate on the uncached pass: simulations per second of
+  // wall time spent inside Simulator::run, summed across workers.
+  const double sims_per_second = legacy.counters.sims_per_second();
+  const bool sims_ok =
+      identity_only || sims_per_second >= kMinSimsPerSecond;
   const bool pass = legacy_identical && serial_identical &&
-                    reuse_identical && reuse_sims == 0 && ratio >= 5.0;
+                    reuse_identical && reuse_sims == 0 && ratio >= 5.0 &&
+                    sims_ok;
 
   report::Table t({"pass", "Simulator::run", "requests", "cache hits",
                    "wall s"});
@@ -381,6 +406,14 @@ int main(int argc, char** argv) {
   std::cout << t.render();
   std::cout << "Simulator::run reduction: "
             << report::Table::num(ratio, 2) << "x (need >= 5)\n";
+  std::cout << "simulator throughput (legacy pass): "
+            << report::Table::num(sims_per_second, 0) << " sims/s";
+  if (identity_only) {
+    std::cout << " (gate skipped: --identity-only)\n";
+  } else {
+    std::cout << " (need >= " << report::Table::num(kMinSimsPerSecond, 0)
+              << ")\n";
+  }
   std::cout << "outputs identical — legacy: "
             << (legacy_identical ? "yes" : "NO")
             << ", serial: " << (serial_identical ? "yes" : "NO")
@@ -407,6 +440,9 @@ int main(int argc, char** argv) {
          << ", \"wall_s\": " << reuse.wall_s << "},\n"
          << "  \"serial\": {\"wall_s\": " << serial.wall_s << "},\n"
          << "  \"simulation_reduction\": " << ratio << ",\n"
+         << "  \"sims_per_second\": " << sims_per_second << ",\n"
+         << "  \"sims_per_second_min\": " << kMinSimsPerSecond << ",\n"
+         << "  \"sims_gate_skipped\": " << identity_only << ",\n"
          << "  \"outputs_identical\": {\"legacy_vs_engine\": "
          << legacy_identical << ", \"parallel_vs_serial\": "
          << serial_identical << ", \"first_vs_reuse\": " << reuse_identical

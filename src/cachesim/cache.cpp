@@ -1,11 +1,26 @@
 #include "cachesim/cache.hpp"
 
+#include <cassert>
+#include <limits>
 #include <stdexcept>
 
 namespace sgp::cachesim {
 
 namespace {
 bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2_pow2(std::size_t v) {
+  std::uint32_t s = 0;
+  while ((std::size_t{1} << s) < v) ++s;
+  return s;
+}
+
+// Invalid-way sentinel. Real tags are addr / line_bytes / num_sets;
+// with line_bytes >= 8 a tag never exceeds 2^61, so all-ones is free.
+constexpr Addr kInvalidTag = ~Addr{0};
+
+constexpr std::uint32_t kChunkMax =
+    std::numeric_limits<std::uint32_t>::max();
 }  // namespace
 
 void CacheConfig::validate() const {
@@ -24,103 +39,143 @@ void CacheConfig::validate() const {
   }
 }
 
-Cache::Cache(CacheConfig config) : config_(std::move(config)) {
+Cache::Cache(CacheConfig config, ShardView shard)
+    : config_(std::move(config)) {
   config_.validate();
-  lines_.resize(config_.num_sets() * config_.ways);
-}
-
-std::size_t Cache::set_index(Addr addr) const {
-  return static_cast<std::size_t>(addr / config_.line_bytes) &
-         (config_.num_sets() - 1);
-}
-
-Addr Cache::tag_of(Addr addr) const {
-  return addr / config_.line_bytes / config_.num_sets();
+  line_shift_ = log2_pow2(config_.line_bytes);
+  set_shift_ = log2_pow2(config_.num_sets());
+  shard_log2_ = shard.count_log2;
+  shard_index_ = shard.index;
+  if (shard_log2_ > set_shift_) {
+    throw std::invalid_argument(config_.name +
+                                ": shard count exceeds set count");
+  }
+  if (shard_index_ >= (std::uint32_t{1} << shard_log2_)) {
+    throw std::invalid_argument(config_.name + ": shard index out of range");
+  }
+  const std::size_t phys_sets = config_.num_sets() >> shard_log2_;
+  phys_set_mask_ = phys_sets - 1;
+  ways_ = config_.ways;
+  lru_ = config_.policy == ReplacementPolicy::LRU;
+  write_allocate_ = config_.write_allocate;
+  tags_.assign(phys_sets * ways_, kInvalidTag);
+  stamps_.assign(phys_sets * ways_, 0);
+  dirty_.assign(phys_sets * ways_, 0);
 }
 
 bool Cache::access(Addr addr, bool is_write) {
-  return access_line(addr, is_write, 1).hit;
+  return access_rw(addr, is_write ? 0u : 1u, is_write ? 1u : 0u).hit;
 }
 
 Cache::LineOutcome Cache::access_line(Addr addr, bool is_write,
                                       std::uint64_t n) {
+  // Chunking a huge run is exact: after the first chunk the line is
+  // resident (or write-around misses keep missing), so the outcome of
+  // the first chunk is the outcome of the whole run.
+  std::uint32_t first =
+      static_cast<std::uint32_t>(n < kChunkMax ? n : kChunkMax);
+  LineOutcome out = access_rw(addr, is_write ? 0u : first,
+                              is_write ? first : 0u);
+  for (std::uint64_t left = n - first; left > 0;) {
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(left < kChunkMax ? left : kChunkMax);
+    access_rw(addr, is_write ? 0u : chunk, is_write ? chunk : 0u);
+    left -= chunk;
+  }
+  return out;
+}
+
+Cache::LineOutcome Cache::access_rw(Addr addr, std::uint32_t reads,
+                                    std::uint32_t writes) {
+  assert(reads + std::uint64_t{writes} >= 1);
+  assert(((addr >> line_shift_) & ((std::size_t{1} << shard_log2_) - 1)) ==
+         shard_index_);
+  const std::uint64_t n = std::uint64_t{reads} + writes;
   // Advancing the clock by n up front is equivalent to n single-access
   // bumps: no other line's stamp changes in between, so victim
   // comparisons see the same relative order.
   clock_ += n;
-  const std::size_t set = set_index(addr);
+  const std::size_t base = set_of(addr) * ways_;
   const Addr tag = tag_of(addr);
-  Line* base = &lines_[set * config_.ways];
+  Addr* const tags = tags_.data() + base;
+  const std::size_t ways = ways_;
 
-  // Hit?
-  for (std::size_t w = 0; w < config_.ways; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      if (config_.policy == ReplacementPolicy::LRU) line.stamp = clock_;
-      line.dirty = line.dirty || is_write;
-      if (is_write) {
-        stats_.write_hits += n;
-      } else {
-        stats_.read_hits += n;
-      }
-      return LineOutcome{true, false, 0};
-    }
+  // Linear probe over the contiguous tag row; invalid ways hold a
+  // sentinel that can never match.
+  std::size_t w = 0;
+  while (w < ways && tags[w] != tag) ++w;
+  if (w != ways) [[likely]] {
+    if (lru_) stamps_[base + w] = clock_;
+    stats_.read_hits += reads;
+    stats_.write_hits += writes;
+    dirty_[base + w] = static_cast<std::uint8_t>(dirty_[base + w] |
+                                                 (writes != 0));
+    return LineOutcome{true, false, 0};
   }
 
-  if (is_write && !config_.write_allocate) {
-    stats_.write_misses += n;  // write-around: every access misses
+  if (reads == 0 && !write_allocate_) {
+    stats_.write_misses += writes;  // write-around: every access misses
     return LineOutcome{false, false, 0};
   }
   // Allocating miss: the first access misses, the remaining n-1 hit
-  // the just-installed line (nothing can evict it in between).
-  if (is_write) {
-    ++stats_.write_misses;
-    stats_.write_hits += n - 1;
-  } else {
+  // the just-installed line (nothing can evict it in between). Reads
+  // always allocate, so a read-modify-write segment's writes all hit.
+  if (reads > 0) {
     ++stats_.read_misses;
-    stats_.read_hits += n - 1;
+    stats_.read_hits += reads - 1;
+    stats_.write_hits += writes;
+  } else {
+    ++stats_.write_misses;
+    stats_.write_hits += writes - 1;
   }
 
-  // Choose a victim: an invalid way, else the oldest stamp.
-  Line* victim = &base[0];
-  for (std::size_t w = 0; w < config_.ways; ++w) {
-    Line& line = base[w];
-    if (!line.valid) {
-      victim = &line;
-      break;
-    }
-    if (line.stamp < victim->stamp) victim = &line;
+  // Victim: minimum stamp, earliest way on ties. Invalid ways have
+  // stamp 0 and valid ones >= 1 (the clock pre-increments), so this is
+  // exactly the legacy "first invalid way, else oldest stamp" walk.
+  std::uint64_t* const stamps = stamps_.data() + base;
+  std::size_t v = 0;
+  for (std::size_t i = 1; i < ways; ++i) {
+    if (stamps[i] < stamps[v]) v = i;
   }
   LineOutcome out{false, false, 0};
-  if (victim->valid) {
+  if (stamps[v] != 0) {
     ++stats_.evictions;
-    if (victim->dirty) {
+    if (dirty_[base + v]) {
       ++stats_.writebacks;
       out.writeback = true;
-      out.victim_addr =
-          (victim->tag * config_.num_sets() + set) * config_.line_bytes;
+      // Reconstruct the victim's full set index from the physical row
+      // plus this view's shard class (a victim shares the set — hence
+      // the shard — of the incoming line).
+      const Addr full_set =
+          ((static_cast<Addr>(base / ways) << shard_log2_) | shard_index_);
+      out.victim_addr = ((tags[v] << set_shift_) | full_set) << line_shift_;
     }
   }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->dirty = is_write;
+  tags[v] = tag;
+  dirty_[base + v] = static_cast<std::uint8_t>(writes != 0);
   // LRU: last use (after all n accesses). FIFO: fill time (the first).
-  victim->stamp = config_.policy == ReplacementPolicy::FIFO
-                      ? clock_ - n + 1
-                      : clock_;
+  stamps[v] = lru_ ? clock_ : clock_ - n + 1;
   return out;
+}
+
+std::uint64_t Cache::access_batch(std::span<const LineSegment> segs) {
+  std::uint64_t accesses = 0;
+  for (const auto& s : segs) {
+    accesses += std::uint64_t{s.reads} + s.writes;
+    (void)access_rw(s.addr, s.reads, s.writes);
+  }
+  return accesses;
 }
 
 bool Cache::write_back_line(Addr addr) {
   ++clock_;
-  const std::size_t set = set_index(addr);
+  const std::size_t base = set_of(addr) * ways_;
   const Addr tag = tag_of(addr);
-  Line* base = &lines_[set * config_.ways];
-  for (std::size_t w = 0; w < config_.ways; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      if (config_.policy == ReplacementPolicy::LRU) line.stamp = clock_;
-      line.dirty = true;
+  Addr* const tags = tags_.data() + base;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (tags[w] == tag) {
+      if (lru_) stamps_[base + w] = clock_;
+      dirty_[base + w] = 1;
       ++stats_.wb_hits;
       return true;
     }
@@ -130,59 +185,92 @@ bool Cache::write_back_line(Addr addr) {
 }
 
 bool Cache::probe(Addr addr) const {
-  const std::size_t set = set_index(addr);
+  const std::size_t base = set_of(addr) * ways_;
   const Addr tag = tag_of(addr);
-  const Line* base = &lines_[set * config_.ways];
-  for (std::size_t w = 0; w < config_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) return true;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (tags_[base + w] == tag) return true;
   }
   return false;
 }
 
 void Cache::flush() {
-  for (auto& line : lines_) line = Line{};
+  tags_.assign(tags_.size(), kInvalidTag);
+  stamps_.assign(stamps_.size(), 0);
+  dirty_.assign(dirty_.size(), 0);
 }
 
 std::size_t Cache::resident_lines() const {
   std::size_t n = 0;
-  for (const auto& line : lines_) {
-    if (line.valid) ++n;
+  for (const Addr t : tags_) {
+    if (t != kInvalidTag) ++n;
   }
   return n;
 }
 
-Hierarchy::Hierarchy(std::vector<CacheConfig> levels) {
+Hierarchy::Hierarchy(std::vector<CacheConfig> levels, ShardView shard) {
   if (levels.empty()) {
     throw std::invalid_argument("Hierarchy: needs at least one level");
   }
+  if (shard.count_log2 > 0) {
+    // Sharding partitions lines by address class; that only partitions
+    // every level's sets when line geometry is uniform and each level
+    // has at least `shards` sets (see max_shards in replay.hpp).
+    for (const auto& cfg : levels) {
+      if (cfg.line_bytes != levels.front().line_bytes) {
+        throw std::invalid_argument(
+            "Hierarchy: shard views need uniform line_bytes");
+      }
+    }
+  }
   caches_.reserve(levels.size());
-  for (auto& cfg : levels) caches_.emplace_back(std::move(cfg));
+  for (auto& cfg : levels) caches_.emplace_back(std::move(cfg), shard);
   pending_wb_.reserve(caches_.size());
 }
 
 std::size_t Hierarchy::access(Addr addr, bool is_write) {
-  return access_segment(addr, is_write, 1);
+  return process_segment(addr, is_write ? 0u : 1u, is_write ? 1u : 0u);
 }
 
-std::size_t Hierarchy::access_segment(Addr addr, bool is_write,
-                                      std::uint64_t n) {
-  std::size_t served = caches_.size();
+std::size_t Hierarchy::process_segment(Addr addr, std::uint32_t reads,
+                                       std::uint32_t writes) {
+  const auto out = caches_[0].access_rw(addr, reads, writes);
+  if (out.hit) return 0;
+  return miss_walk(addr, reads, writes, out);
+}
+
+std::size_t Hierarchy::miss_walk(Addr addr, std::uint32_t reads,
+                                 std::uint32_t writes,
+                                 const Cache::LineOutcome& l1_out) {
   pending_wb_.clear();
-  std::uint64_t n_fwd = n;
-  for (std::size_t i = 0; i < caches_.size(); ++i) {
+  if (l1_out.writeback && caches_.size() > 1) {
+    pending_wb_.emplace_back(1, l1_out.victim_addr);
+  }
+  // A dirty victim of the last level goes straight to memory; its
+  // traffic is already counted in that level's writebacks.
+  std::size_t served = caches_.size();
+  // What continues below L1: an allocating miss (any segment with
+  // reads, or a write-allocate L1) installs the line, so only the
+  // first access — a read if the segment had any — goes down. A
+  // write-around L1 miss installs nothing, so every write of the
+  // segment falls through at full multiplicity.
+  bool is_write;
+  std::uint64_t n_fwd;
+  if (reads > 0 || caches_[0].config().write_allocate) {
+    is_write = reads == 0;
+    n_fwd = 1;
+  } else {
+    is_write = true;
+    n_fwd = writes;
+  }
+  for (std::size_t i = 1; i < caches_.size(); ++i) {
     const auto out = caches_[i].access_line(addr, is_write, n_fwd);
     if (out.writeback && i + 1 < caches_.size()) {
       pending_wb_.emplace_back(i + 1, out.victim_addr);
     }
-    // A dirty victim of the last level goes straight to memory; its
-    // traffic is already counted in that level's writebacks.
     if (out.hit) {
       served = i;
       break;
     }
-    // An allocating miss installs the line, so only the segment's first
-    // access continues downward; a write-around miss installs nothing
-    // and every access of the segment falls through.
     if (!(is_write && !caches_[i].config().write_allocate)) n_fwd = 1;
   }
   for (const auto& [level, victim] : pending_wb_) {
@@ -214,10 +302,37 @@ void Hierarchy::access_run(const AccessRun& run) {
     }
     ++telemetry_.line_segments;
     telemetry_.coalesced += n - 1;
-    access_segment(addr, run.is_write, n);
+    for (std::uint64_t todo = n; todo > 0;) {
+      const auto chunk = static_cast<std::uint32_t>(
+          todo < kChunkMax ? todo : kChunkMax);
+      process_segment(addr, run.is_write ? 0u : chunk,
+                      run.is_write ? chunk : 0u);
+      todo -= chunk;
+    }
     addr += n * run.step_bytes;
     left -= n;
   }
+}
+
+void Hierarchy::access_batch(std::span<const LineSegment> segs,
+                             std::uint64_t runs) {
+  Cache& l1 = caches_[0];
+  std::uint64_t accesses = 0;
+  if (caches_.size() == 1) {
+    accesses = l1.access_batch(segs);
+  } else {
+    for (const auto& s : segs) {
+      accesses += std::uint64_t{s.reads} + s.writes;
+      const auto out = l1.access_rw(s.addr, s.reads, s.writes);
+      if (!out.hit) [[unlikely]] {
+        miss_walk(s.addr, s.reads, s.writes, out);
+      }
+    }
+  }
+  telemetry_.runs += runs;
+  telemetry_.line_segments += segs.size();
+  telemetry_.accesses += accesses;
+  telemetry_.coalesced += accesses - segs.size();
 }
 
 std::uint64_t Hierarchy::dram_bytes() const {
@@ -228,6 +343,13 @@ std::uint64_t Hierarchy::dram_bytes() const {
   return (last.stats().misses() + last.stats().writebacks +
           last.stats().wb_misses) *
          last.config().line_bytes;
+}
+
+void Hierarchy::merge_telemetry(const RunTelemetry& t) {
+  telemetry_.runs += t.runs;
+  telemetry_.line_segments += t.line_segments;
+  telemetry_.coalesced += t.coalesced;
+  telemetry_.accesses += t.accesses;
 }
 
 void Hierarchy::flush() {

@@ -4,17 +4,22 @@
 // check that the analytical model's serving-level decisions agree with
 // simulated miss rates on synthetic kernels.
 //
-// The hot entry points are run-based: TraceCursor (replay.hpp) yields
-// AccessRuns and Hierarchy::access_run consumes them, collapsing the
-// accesses that fall into one cache line into a single tag check plus a
-// counted hit increment. The coalescing is exact — the per-access
-// `access` path and the run path produce bit-identical CacheStats —
-// because a run's same-line accesses are consecutive in the global
-// access order, so nothing can intervene and evict the line between
-// them (see docs/CACHESIM.md for the argument).
+// The hot entry points are batch-based: a decoder (arena.hpp) turns a
+// TraceCursor run stream into a flat buffer of LineSegments (same-line
+// groups of consecutive accesses, reads before writes) and
+// Hierarchy::access_batch replays the buffer with one tag check per
+// segment. Per-set state is structure-of-arrays (separate tag / stamp /
+// dirty arrays with an invalid-tag sentinel), so the way scan is a
+// branch-light linear probe over a contiguous tag array and set/tag
+// math is shift-and-mask, not division. The coalescing is exact — the
+// per-access `access` path, the run path and the batch path produce
+// bit-identical CacheStats — because a segment's same-line accesses
+// are consecutive in the global access order, so nothing can intervene
+// and evict the line between them (see docs/CACHESIM.md).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -107,12 +112,37 @@ struct AccessRun {
   bool operator==(const AccessRun&) const = default;
 };
 
+/// A decoded batch element: `reads` read accesses followed by `writes`
+/// write accesses, all consecutive in the trace order and all falling
+/// into the L1 line holding `addr`. Pure-read (writes == 0), pure-write
+/// (reads == 0) and read-modify-write segments share one layout so the
+/// replay loop is a single tight pass over a flat 16-byte-element
+/// array.
+struct LineSegment {
+  Addr addr = 0;
+  std::uint32_t reads = 0;
+  std::uint32_t writes = 0;
+
+  bool operator==(const LineSegment&) const = default;
+};
+
+/// Set-shard view for parallel single-replay: the cache stores only the
+/// sets whose line address satisfies `line % (1 << count_log2) ==
+/// index`, at 1/2^count_log2 of the configured capacity. Sets partition
+/// lines disjointly, so replaying a shard-filtered trace on a shard
+/// view is bit-identical to the serial replay restricted to those sets
+/// (docs/CACHESIM.md has the determinism argument).
+struct ShardView {
+  std::uint32_t count_log2 = 0;  ///< log2 of the shard count
+  std::uint32_t index = 0;       ///< this shard's line class
+};
+
 /// One level of cache. Accesses report hit/miss; misses are meant to be
 /// forwarded to the next level by the caller (see Hierarchy).
 class Cache {
  public:
-  /// Outcome of access_line: whether the (first) access hit, and
-  /// whether installing on a miss evicted a dirty victim the caller
+  /// Outcome of access_line/access_rw: whether the (first) access hit,
+  /// and whether installing on a miss evicted a dirty victim the caller
   /// must write back to the next level.
   struct LineOutcome {
     bool hit = false;
@@ -120,7 +150,7 @@ class Cache {
     Addr victim_addr = 0;  ///< line-aligned address of the dirty victim
   };
 
-  explicit Cache(CacheConfig config);
+  explicit Cache(CacheConfig config, ShardView shard = {});
 
   const CacheConfig& config() const noexcept { return config_; }
   const CacheStats& stats() const noexcept { return stats_; }
@@ -137,6 +167,21 @@ class Cache {
   /// write-around miss counts all n as write misses. LRU stamps end at
   /// the clock after the last access, FIFO stamps keep the fill time.
   LineOutcome access_line(Addr addr, bool is_write, std::uint64_t n = 1);
+
+  /// One LineSegment: `reads` reads then `writes` writes on the line
+  /// holding `addr` (reads + writes >= 1), as one tag check. Exactly
+  /// equivalent to access_line(addr, false, reads) followed by
+  /// access_line(addr, true, writes): the write part always hits the
+  /// line the read part installed (or found), even on write-around
+  /// caches, because reads allocate unconditionally.
+  LineOutcome access_rw(Addr addr, std::uint32_t reads,
+                        std::uint32_t writes);
+
+  /// Demand-replays a whole segment buffer against this single cache
+  /// (no miss forwarding — the single-level fast path of
+  /// Hierarchy::access_batch). Returns the number of logical accesses
+  /// replayed.
+  std::uint64_t access_batch(std::span<const LineSegment> segs);
 
   /// Absorbs a writeback arriving from the level above: on hit the
   /// resident line turns dirty (counted as a wb_hit) and true is
@@ -161,20 +206,39 @@ class Cache {
   std::size_t resident_lines() const;
 
  private:
-  struct Line {
-    Addr tag = 0;
-    bool valid = false;
-    bool dirty = false;
-    std::uint64_t stamp = 0;  // LRU: last-use time; FIFO: fill time
-  };
-
-  std::size_t set_index(Addr addr) const;
-  Addr tag_of(Addr addr) const;
+  /// Physical row of `addr`'s set in the (possibly shard-view) arrays.
+  std::size_t set_of(Addr addr) const noexcept {
+    return static_cast<std::size_t>(
+               (addr >> line_shift_) >> shard_log2_) &
+           phys_set_mask_;
+  }
+  Addr tag_of(Addr addr) const noexcept {
+    return (addr >> line_shift_) >> set_shift_;
+  }
 
   CacheConfig config_;
   CacheStats stats_;
-  std::vector<Line> lines_;  // sets x ways, row-major
+
+  // Structure-of-arrays per-set state, each sized phys_sets * ways and
+  // indexed row-major by (physical set, way). Invalid ways hold
+  // kInvalidTag (never a real tag: tags are < 2^61 for >= 8-byte
+  // lines) and stamp 0 (valid lines always stamp >= 1, so the victim
+  // scan is a single min-stamp probe that naturally prefers the first
+  // invalid way, exactly like the legacy first-invalid-else-oldest
+  // walk).
+  std::vector<Addr> tags_;
+  std::vector<std::uint64_t> stamps_;
+  std::vector<std::uint8_t> dirty_;
+
   std::uint64_t clock_ = 0;
+  std::uint32_t line_shift_ = 0;  ///< log2(line_bytes)
+  std::uint32_t set_shift_ = 0;   ///< log2(num_sets), full geometry
+  std::uint32_t shard_log2_ = 0;
+  std::uint32_t shard_index_ = 0;
+  std::size_t phys_set_mask_ = 0;  ///< physical sets - 1
+  std::size_t ways_ = 0;
+  bool lru_ = true;
+  bool write_allocate_ = true;
 };
 
 /// An inclusive-enough multi-level hierarchy: an access walks down the
@@ -186,30 +250,39 @@ class Cache {
 /// the DRAM traffic in bytes.
 class Hierarchy {
  public:
-  /// Accesses processed through the run API, for obs instrumentation.
+  /// Accesses processed through the run/batch APIs, for obs
+  /// instrumentation.
   struct RunTelemetry {
-    std::uint64_t runs = 0;           ///< access_run calls
+    std::uint64_t runs = 0;           ///< access runs decoded/replayed
     std::uint64_t line_segments = 0;  ///< L1 tag checks those runs cost
     std::uint64_t coalesced = 0;      ///< accesses folded into segments
     std::uint64_t accesses = 0;       ///< logical accesses replayed
   };
 
-  explicit Hierarchy(std::vector<CacheConfig> levels);
+  explicit Hierarchy(std::vector<CacheConfig> levels, ShardView shard = {});
 
   /// Performs one access; returns the deepest level index that HIT, or
   /// levels() if it went to memory.
   std::size_t access(Addr addr, bool is_write);
 
   /// Replays a whole run, coalescing the accesses that share an L1
-  /// line into one access_line call per line touched. Bit-identical
+  /// line into one tag check per line touched. Bit-identical
   /// statistics to calling `access` once per run element.
   void access_run(const AccessRun& run);
+
+  /// Replays a decoded segment buffer (arena.hpp): one L1 tag check
+  /// per segment, the miss walk out of line. Bit-identical statistics
+  /// to replaying each segment's reads-then-writes through `access`.
+  /// `runs` is the number of access runs the buffer was decoded from,
+  /// folded into telemetry only.
+  void access_batch(std::span<const LineSegment> segs,
+                    std::uint64_t runs = 0);
 
   std::size_t levels() const noexcept { return caches_.size(); }
   const Cache& level(std::size_t i) const { return caches_.at(i); }
 
   /// Adds an externally computed stats delta to one level (replay
-  /// steady-state extrapolation).
+  /// steady-state extrapolation, shard merging).
   void add_stats(std::size_t level, const CacheStats& delta) {
     caches_.at(level).add_stats(delta);
   }
@@ -218,13 +291,20 @@ class Hierarchy {
   std::uint64_t dram_bytes() const;
 
   const RunTelemetry& telemetry() const noexcept { return telemetry_; }
+  /// Folds a shard's telemetry into this hierarchy's (shard merging).
+  void merge_telemetry(const RunTelemetry& t);
 
   void flush();
 
  private:
-  /// `n` same-L1-line consecutive accesses: one L1 tag check, at most
-  /// one forwarded access per lower level, then pending writebacks.
-  std::size_t access_segment(Addr addr, bool is_write, std::uint64_t n);
+  /// One segment: L1 tag check inline, miss walk + writebacks out of
+  /// line. Returns the deepest level that hit (levels() = memory).
+  std::size_t process_segment(Addr addr, std::uint32_t reads,
+                              std::uint32_t writes);
+  /// Demand walk below L1 plus deferred writebacks after an L1 miss.
+  std::size_t miss_walk(Addr addr, std::uint32_t reads,
+                        std::uint32_t writes,
+                        const Cache::LineOutcome& l1_out);
   /// Walks a writeback down from `level` until a cache absorbs it.
   void write_back(std::size_t level, Addr addr);
 

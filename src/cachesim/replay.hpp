@@ -4,33 +4,50 @@
 // The legacy path materialized every access of a sweep into a
 // std::vector<AccessRecord> and walked it one address at a time —
 // O(elems x arrays x reps) memory traffic just to *build* the input.
-// Here a pull-based TraceCursor yields AccessRuns (base, step, count,
-// is_write) one at a time, Hierarchy::access_run coalesces each run's
-// same-line accesses into single tag checks, and replay_stream stops
-// simulating reps once the per-level stats deltas of two consecutive
-// reps are identical, extrapolating the remaining reps arithmetically
-// (exact for the periodic traces every pattern except Gather produces;
-// Gather always replays in full).
+// Here the sweep is decoded ONCE (arena.hpp) into a flat
+// LineSegment buffer — same-line accesses fused into read-then-write
+// segments, Gather's random index stream precomputed — and every rep
+// replays that buffer through Hierarchy::access_batch: one
+// structure-of-arrays tag probe per segment, no per-rep RNG, no
+// per-rep allocation. replay_stream stops simulating reps once the
+// per-level stats deltas of two consecutive reps are identical,
+// extrapolating the remaining reps arithmetically (exact whenever two
+// equal deltas imply a closed state orbit — which holds for every
+// pattern, Gather included, because each rep replays the identical
+// decoded buffer).
+//
+// replay_sharded splits ONE replay across set-shards: lines partition
+// by (line_addr mod shards), every level's sets partition the same way
+// (uniform line size, shards <= min sets — see max_shards), so the
+// shards touch disjoint cache state and replay in parallel on the
+// src/threading pool while staying bit-identical to the serial replay
+// (docs/CACHESIM.md has the determinism argument; the src/check
+// three-way oracle enforces it).
 //
 // generate_sweep (trace.hpp) is reimplemented on top of TraceCursor,
-// so the materialized trace and the streamed runs are the same access
-// sequence by construction and the two replay paths produce
-// bit-identical CacheStats — bench/micro_cachesim asserts exactly
-// that, per pattern, while measuring the throughput win.
+// so the materialized trace, the decoded segment buffer and the
+// streamed runs are the same access sequence by construction and all
+// replay paths produce bit-identical CacheStats — bench/micro_cachesim
+// asserts exactly that, per pattern, while measuring the throughput
+// win.
 //
 // Obs counters (docs/OBSERVABILITY.md): cachesim.replays,
 // cachesim.runs, cachesim.line_segments, cachesim.accesses_coalesced,
-// cachesim.accesses_simulated, cachesim.reps_skipped; each
-// replay_stream is wrapped in a "cachesim.replay" span.
+// cachesim.accesses_simulated, cachesim.reps_skipped,
+// cachesim.sharded_replays; each replay is wrapped in a
+// "cachesim.replay" span.
 #pragma once
 
 #include <cstdint>
 #include <random>
+#include <vector>
 
 #include "cachesim/cache.hpp"
 #include "cachesim/trace.hpp"
 
 namespace sgp::cachesim {
+
+class ReplayArena;
 
 /// Pull-based generator for the access runs of one full sweep over a
 /// SweepSpec. Streaming/Strided sweeps are emitted as per-array runs
@@ -38,7 +55,8 @@ namespace sgp::cachesim {
 /// so each run covers many consecutive same-array elements; the
 /// stencil/gather/recurrence patterns keep their per-element run
 /// structure. The cursor defines the canonical trace order —
-/// generate_sweep flattens exactly this run stream.
+/// generate_sweep flattens exactly this run stream, and decode_sweep
+/// (arena.hpp) fuses it into the batch-replay segment buffer.
 class TraceCursor {
  public:
   /// Element-block granularity for Streaming/Strided run emission:
@@ -87,13 +105,28 @@ struct ReplayOptions {
   int l2_sharers = 1;
   int l3_sharers = 1;
   /// Extrapolate once two consecutive reps have identical per-level
-  /// stats deltas. Never applied to Gather.
+  /// stats deltas. Applies to every pattern (Gather replays the same
+  /// decoded buffer each rep, so its state orbit closes like any
+  /// other pattern's).
   bool early_exit = true;
+  /// Decode scratch to (re)use; nullptr picks this thread's default
+  /// arena (ReplayArena::thread_default).
+  ReplayArena* arena = nullptr;
 };
 
-/// Streaming replay: cursor + access_run + steady-state early exit.
-/// Bit-identical results to replay_vector on every pattern.
+/// Streaming replay: arena-decoded segment buffer + access_batch +
+/// steady-state early exit. Bit-identical results to replay_vector on
+/// every pattern.
 ReplayResult replay_stream(const machine::MachineDescriptor& m,
+                           const SweepSpec& spec, int reps,
+                           const ReplayOptions& opt = {});
+
+/// Config-level variant: replays on an explicit hierarchy (the
+/// l2_sharers/l3_sharers fields of `opt` are ignored — sharing is
+/// already baked into the configs). Lets oracles exercise FIFO /
+/// write-around / single-level hierarchies the descriptor path never
+/// builds.
+ReplayResult replay_stream(const std::vector<CacheConfig>& cfgs,
                            const SweepSpec& spec, int reps,
                            const ReplayOptions& opt = {});
 
@@ -104,5 +137,34 @@ ReplayResult replay_stream(const machine::MachineDescriptor& m,
 ReplayResult replay_vector(const machine::MachineDescriptor& m,
                            const SweepSpec& spec, int reps,
                            const ReplayOptions& opt = {});
+
+ReplayResult replay_vector(const std::vector<CacheConfig>& cfgs,
+                           const SweepSpec& spec, int reps,
+                           const ReplayOptions& opt = {});
+
+/// Largest power-of-two shard count replay_sharded accepts for this
+/// hierarchy: sharding by line-address class only partitions every
+/// level's sets when line geometry is uniform across levels (else 1)
+/// and each level has at least `shards` sets; capped at 64.
+std::size_t max_shards(const std::vector<CacheConfig>& cfgs);
+
+/// Parallelises ONE replay across `shards` set-shards on the
+/// src/threading pool (`jobs` resolved via recommended_jobs; 1 =
+/// serial shard loop on the calling thread). Statistics, steady-state
+/// rates, dram_bytes and the access count are bit-identical to
+/// replay_stream; the merged hierarchy carries statistics only (its
+/// line state is cold — probe/resident_lines reflect no residency)
+/// and its telemetry reports segments/accesses, not runs. shards == 1
+/// delegates to replay_stream; shards must be a power of two and <=
+/// max_shards(cfgs) (throws std::invalid_argument otherwise).
+ReplayResult replay_sharded(const machine::MachineDescriptor& m,
+                            const SweepSpec& spec, int reps,
+                            std::size_t shards, int jobs = 1,
+                            const ReplayOptions& opt = {});
+
+ReplayResult replay_sharded(const std::vector<CacheConfig>& cfgs,
+                            const SweepSpec& spec, int reps,
+                            std::size_t shards, int jobs = 1,
+                            const ReplayOptions& opt = {});
 
 }  // namespace sgp::cachesim

@@ -1,6 +1,7 @@
 #include "cachesim/trace.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "cachesim/replay.hpp"
@@ -16,17 +17,22 @@ Trace generate_sweep(const SweepSpec& spec) {
   trace.reserve(cursor.total_accesses());
   AccessRun run;
   while (cursor.next(run)) {
+    // The reserve above must be exact for every pattern — Gather's
+    // index+data interleave included — so the flattening never
+    // reallocates mid-build.
+    assert(trace.size() + run.count <= cursor.total_accesses());
     Addr addr = run.base;
     for (std::uint64_t k = 0; k < run.count; ++k) {
       trace.push_back({addr, run.is_write});
       addr += run.step_bytes;
     }
   }
+  assert(trace.size() == cursor.total_accesses());
   return trace;
 }
 
-Hierarchy hierarchy_for(const machine::MachineDescriptor& m,
-                        int l2_sharers, int l3_sharers) {
+std::vector<CacheConfig> hierarchy_configs(
+    const machine::MachineDescriptor& m, int l2_sharers, int l3_sharers) {
   auto round_pow2 = [](std::size_t v) {
     std::size_t p = 1;
     while (p * 2 <= v) p *= 2;
@@ -57,7 +63,12 @@ Hierarchy hierarchy_for(const machine::MachineDescriptor& m,
     l3.ways = 16;
     cfgs.push_back(l3);
   }
-  return Hierarchy(std::move(cfgs));
+  return cfgs;
+}
+
+Hierarchy hierarchy_for(const machine::MachineDescriptor& m,
+                        int l2_sharers, int l3_sharers) {
+  return Hierarchy(hierarchy_configs(m, l2_sharers, l3_sharers));
 }
 
 ReplayResult replay(const machine::MachineDescriptor& m,

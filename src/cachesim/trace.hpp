@@ -31,6 +31,9 @@ struct SweepSpec {
   std::size_t stride_elems = 8;  ///< Strided pattern only
   unsigned seed = 7;             ///< Gather pattern only
   Addr base = 1 << 20;
+
+  /// Field-wise equality — the decode cache key in ReplayArena.
+  bool operator==(const SweepSpec&) const = default;
 };
 
 /// Materializes one full sweep by flattening the TraceCursor run
@@ -45,6 +48,13 @@ Trace generate_sweep(const SweepSpec& spec);
 /// divide the shared levels.
 Hierarchy hierarchy_for(const machine::MachineDescriptor& m,
                         int l2_sharers = 1, int l3_sharers = 1);
+
+/// The per-level configs hierarchy_for builds — exposed so replays can
+/// construct several hierarchies (e.g. one per set-shard) from the
+/// same descriptor, and so config-level oracles can perturb them.
+std::vector<CacheConfig> hierarchy_configs(
+    const machine::MachineDescriptor& m, int l2_sharers = 1,
+    int l3_sharers = 1);
 
 /// Replays the sweep `reps` times (flushing nothing in between, like a
 /// RAJAPerf kernel re-running over resident data) and returns the

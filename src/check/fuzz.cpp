@@ -160,80 +160,122 @@ std::string render_stats(const cachesim::CacheStats& s) {
   return os.str();
 }
 
+/// "" when the two replays agree bit-for-bit on everything the oracle
+/// pins; otherwise a one-line description of the first divergence.
+std::string diff_replays(const cachesim::ReplayResult& a,
+                         const cachesim::ReplayResult& b,
+                         const std::string& an, const std::string& bn) {
+  if (a.accesses != b.accesses) {
+    return "accesses " + std::to_string(a.accesses) + " (" + an + ") vs " +
+           std::to_string(b.accesses) + " (" + bn + ")";
+  }
+  if (a.hierarchy.dram_bytes() != b.hierarchy.dram_bytes()) {
+    return "dram_bytes " + std::to_string(a.hierarchy.dram_bytes()) +
+           " (" + an + ") vs " + std::to_string(b.hierarchy.dram_bytes()) +
+           " (" + bn + ")";
+  }
+  if (a.steady_miss_rate != b.steady_miss_rate) {
+    return "steady miss rates differ (" + an + " vs " + bn + ")";
+  }
+  for (std::size_t l = 0; l < a.hierarchy.levels(); ++l) {
+    const auto& sa = a.hierarchy.level(l).stats();
+    const auto& sb = b.hierarchy.level(l).stats();
+    if (!(sa == sb)) {
+      return a.hierarchy.level(l).config().name + " " + an + "{" +
+             render_stats(sa) + "} " + bn + "{" + render_stats(sb) + "}";
+    }
+  }
+  return {};
+}
+
+struct AgreeCase {
+  core::AccessPattern pattern;
+  std::size_t arrays;
+  std::size_t elems;
+  std::size_t stride;
+  int reps;
+};
+
+// Small enough that the vector reference stays cheap on every random
+// machine, large enough to spill L1 and exercise evictions.
+constexpr AgreeCase kAgreeCases[] = {
+    {core::AccessPattern::Streaming, 3, std::size_t{1} << 12, 8, 6},
+    {core::AccessPattern::Reduction, 1, std::size_t{1} << 12, 8, 6},
+    {core::AccessPattern::Strided, 2, std::size_t{1} << 12, 16, 6},
+    {core::AccessPattern::Stencil1D, 2, std::size_t{1} << 12, 8, 5},
+    {core::AccessPattern::Stencil2D, 2, std::size_t{1} << 12, 8, 5},
+    {core::AccessPattern::Gather, 2, std::size_t{1} << 11, 8, 4},
+    {core::AccessPattern::Sequential, 1, std::size_t{1} << 12, 8, 6},
+};
+
+/// Three-way replay identity (vector vs stream vs set-sharded) of one
+/// case on an explicit hierarchy. `subject` names the machine (plus
+/// any config perturbation) in violation reports.
+void agree_three_way(const std::vector<cachesim::CacheConfig>& cfgs,
+                     const std::string& subject, const AgreeCase& c,
+                     CheckReport& report) {
+  cachesim::SweepSpec spec;
+  spec.pattern = c.pattern;
+  spec.arrays = c.arrays;
+  spec.elems = c.elems;
+  spec.stride_elems = c.stride;
+
+  const auto vec = cachesim::replay_vector(cfgs, spec, c.reps);
+  const auto str = cachesim::replay_stream(cfgs, spec, c.reps);
+  std::string detail = diff_replays(vec, str, "vector", "stream");
+  if (detail.empty()) {
+    // Largest eligible shard count up to 8, exercised in parallel. A
+    // hierarchy too small (or too heterogeneous) to shard degrades to
+    // the stream path via shards == 1, keeping the oracle total
+    // stable.
+    std::size_t shards = std::min<std::size_t>(
+        cachesim::max_shards(cfgs), 8);
+    const auto shd =
+        cachesim::replay_sharded(cfgs, spec, c.reps, shards, /*jobs=*/2);
+    detail = diff_replays(vec, shd, "vector", "sharded");
+  }
+
+  ++report.points;
+  obs::registry().counter("check.cachesim-replay-agreement.points").add();
+  if (!detail.empty()) {
+    obs::registry()
+        .counter("check.cachesim-replay-agreement.violations")
+        .add();
+    report.violations.push_back(Violation{
+        "cachesim-replay-agreement", subject,
+        std::string("sweep-") + std::string(core::to_string(c.pattern)),
+        "elems=" + std::to_string(c.elems) +
+            " reps=" + std::to_string(c.reps),
+        detail});
+  }
+}
+
 }  // namespace
 
 CheckReport cachesim_agreement(const machine::MachineDescriptor& m) {
   using core::AccessPattern;
-  struct Case {
-    AccessPattern pattern;
-    std::size_t arrays;
-    std::size_t elems;
-    std::size_t stride;
-    int reps;
-  };
-  // Small enough that the vector reference stays cheap on every random
-  // machine, large enough to spill L1 and exercise evictions.
-  const Case cases[] = {
-      {AccessPattern::Streaming, 3, std::size_t{1} << 12, 8, 6},
-      {AccessPattern::Reduction, 1, std::size_t{1} << 12, 8, 6},
-      {AccessPattern::Strided, 2, std::size_t{1} << 12, 16, 6},
-      {AccessPattern::Stencil1D, 2, std::size_t{1} << 12, 8, 5},
-      {AccessPattern::Stencil2D, 2, std::size_t{1} << 12, 8, 5},
-      {AccessPattern::Gather, 2, std::size_t{1} << 11, 8, 4},
-      {AccessPattern::Sequential, 1, std::size_t{1} << 12, 8, 6},
-  };
-
   CheckReport report;
-  for (const auto& c : cases) {
-    cachesim::SweepSpec spec;
-    spec.pattern = c.pattern;
-    spec.arrays = c.arrays;
-    spec.elems = c.elems;
-    spec.stride_elems = c.stride;
+  const auto cfgs = cachesim::hierarchy_configs(m);
+  for (const auto& c : kAgreeCases) {
+    agree_three_way(cfgs, m.name, c, report);
+  }
 
-    const auto vec = cachesim::replay_vector(m, spec, c.reps);
-    const auto str = cachesim::replay_stream(m, spec, c.reps);
-
-    std::string detail;
-    bool ok = true;
-    if (vec.accesses != str.accesses) {
-      ok = false;
-      detail = "accesses " + std::to_string(vec.accesses) + " vs " +
-               std::to_string(str.accesses);
-    } else if (vec.hierarchy.dram_bytes() != str.hierarchy.dram_bytes()) {
-      ok = false;
-      detail = "dram_bytes " +
-               std::to_string(vec.hierarchy.dram_bytes()) + " vs " +
-               std::to_string(str.hierarchy.dram_bytes());
-    } else if (vec.steady_miss_rate != str.steady_miss_rate) {
-      ok = false;
-      detail = "steady miss rates differ";
-    } else {
-      for (std::size_t l = 0; l < vec.hierarchy.levels(); ++l) {
-        const auto& a = vec.hierarchy.level(l).stats();
-        const auto& b = str.hierarchy.level(l).stats();
-        if (!(a == b)) {
-          ok = false;
-          detail = vec.hierarchy.level(l).config().name + " vector{" +
-                   render_stats(a) + "} stream{" + render_stats(b) + "}";
-          break;
-        }
-      }
-    }
-
-    ++report.points;
-    obs::registry().counter("check.cachesim-replay-agreement.points").add();
-    if (!ok) {
-      obs::registry()
-          .counter("check.cachesim-replay-agreement.violations")
-          .add();
-      report.violations.push_back(Violation{
-          "cachesim-replay-agreement", m.name,
-          std::string("sweep-") + std::string(core::to_string(c.pattern)),
-          "elems=" + std::to_string(c.elems) +
-              " reps=" + std::to_string(c.reps),
-          detail});
-    }
+  // Config perturbations the descriptor path never builds: FIFO
+  // replacement at every level (fill stamps must survive batching and
+  // shard-local clocks) and a write-around L1 (a missing pure-write
+  // segment forwards at full multiplicity down the hierarchy).
+  auto fifo = cfgs;
+  for (auto& cfg : fifo) cfg.policy = cachesim::ReplacementPolicy::FIFO;
+  auto wa = cfgs;
+  wa.front().write_allocate = false;
+  const AgreeCase perturbed[] = {
+      {AccessPattern::Streaming, 3, std::size_t{1} << 12, 8, 5},
+      {AccessPattern::Gather, 2, std::size_t{1} << 11, 8, 4},
+      {AccessPattern::Sequential, 1, std::size_t{1} << 12, 8, 5},
+  };
+  for (const auto& c : perturbed) {
+    agree_three_way(fifo, m.name + "+fifo", c, report);
+    agree_three_way(wa, m.name + "+write-around", c, report);
   }
   return report;
 }

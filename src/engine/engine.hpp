@@ -98,8 +98,22 @@ struct EngineCounters {
   std::uint64_t simulators_built = 0;
   std::uint64_t batches = 0;      ///< run_batch/run_grid calls
   std::uint64_t cache_entries = 0;
+  /// Wall nanoseconds spent inside Simulator::run, summed across
+  /// workers — the hot-path cost the memo cache and the replay engine
+  /// exist to shrink. Per-thread time, so sims_per_second() measures
+  /// simulator throughput independent of worker count and scheduling.
+  std::uint64_t sim_ns = 0;
   std::vector<PhaseStat> phases;  ///< in first-use order
   EnginePersistCounters persist;
+
+  /// Simulations per aggregate simulation second (0 when nothing ran).
+  /// bench/micro_sweep_engine gates on this so hot-path regressions
+  /// fail CI, not code review.
+  double sims_per_second() const {
+    return sim_ns == 0 ? 0.0
+                       : static_cast<double>(simulations) /
+                             (static_cast<double>(sim_ns) * 1e-9);
+  }
 };
 
 /// One evaluation point for run_batch. The machine and signature are
@@ -233,6 +247,7 @@ class SweepEngine {
   std::atomic<std::uint64_t> simulations_{0};
   std::atomic<std::uint64_t> simulators_built_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> sim_ns_{0};  ///< wall ns inside Simulator::run
 
   mutable std::mutex phases_mu_;
   std::vector<PhaseStat> phases_;

@@ -1,7 +1,8 @@
 // Tests for the streaming replay engine (src/cachesim/replay.hpp): the
 // TraceCursor as the canonical trace order, exactness of line-run
-// coalescing against the per-access path, steady-state early exit, the
-// Gather fallback, and the writeback-propagation fix in Hierarchy.
+// coalescing and of the arena-decoded batch path against the
+// per-access path, steady-state early exit (Gather included), and the
+// writeback-propagation fix in Hierarchy.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -9,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cachesim/arena.hpp"
 #include "cachesim/replay.hpp"
 #include "cachesim/trace.hpp"
 #include "machine/descriptor.hpp"
@@ -195,6 +197,142 @@ TEST(AccessRun, CoalescesSameLineAccesses) {
   EXPECT_EQ(h.level(0).stats().read_hits, 7u);
 }
 
+// --------------------------------------------------- decode/batch path --
+TEST(DecodeSweep, AccountsEveryAccessOnEveryPattern) {
+  for (const auto p : kAllPatterns) {
+    // Odd element counts stress the split/fusion bookkeeping (Gather's
+    // index+data interleave included).
+    for (const std::size_t elems : {std::size_t{1} << 10,
+                                    (std::size_t{1} << 10) - 3}) {
+      const auto spec = small_spec(p, 2, elems);
+      TraceCursor cursor(spec);
+      DecodedSweep dec;
+      decode_sweep(spec, 64, dec);
+      EXPECT_EQ(dec.accesses, cursor.total_accesses())
+          << core::to_string(p) << " elems " << elems;
+      std::uint64_t in_segments = 0;
+      for (std::size_t i = 0; i < dec.segments.size(); ++i) {
+        const auto& s = dec.segments[i];
+        EXPECT_GE(std::uint64_t{s.reads} + s.writes, 1u) << "segment " << i;
+        // Adjacent segments on the same line must not both be fusable
+        // (otherwise the decoder left a merge on the table or, worse,
+        // would have had to reorder to merge them).
+        if (i > 0) {
+          const auto& p = dec.segments[i - 1];
+          if (((p.addr ^ s.addr) & ~Addr{63}) == 0) {
+            EXPECT_TRUE(p.writes > 0 && s.reads > 0)
+                << "unfused same-line neighbours at " << i;
+          }
+        }
+        in_segments += std::uint64_t{s.reads} + s.writes;
+      }
+      EXPECT_EQ(in_segments, dec.accesses) << core::to_string(p);
+    }
+  }
+}
+
+TEST(DecodeSweep, FusesReadModifyWriteButNeverWriteThenRead) {
+  // Sequential is a per-element read-then-write on the same address:
+  // each element must fuse to ONE rmw segment, and the next element's
+  // read must not fuse back into it (write-then-read reorders).
+  SweepSpec spec = small_spec(AccessPattern::Sequential, 1, 64);
+  DecodedSweep dec;
+  decode_sweep(spec, 64, dec);
+  ASSERT_FALSE(dec.segments.empty());
+  for (std::size_t i = 0; i < dec.segments.size(); ++i) {
+    const auto& s = dec.segments[i];
+    EXPECT_GT(s.reads, 0u) << "segment " << i;
+    EXPECT_GT(s.writes, 0u) << "segment " << i;
+  }
+  EXPECT_EQ(dec.accesses, 2u * 64u);
+}
+
+void batch_identity_trial(std::vector<CacheConfig> cfgs,
+                          const std::string& what) {
+  Hierarchy by_batch(cfgs);
+  Hierarchy by_access(cfgs);
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<Addr> line_pick(0, 255);
+  std::uniform_int_distribution<std::uint32_t> count(0, 5);
+  std::uniform_int_distribution<std::size_t> batch_len(1, 16);
+
+  std::vector<LineSegment> batch;
+  for (int t = 0; t < 200; ++t) {
+    batch.clear();
+    const std::size_t len = batch_len(rng);
+    for (std::size_t i = 0; i < len; ++i) {
+      LineSegment s;
+      s.addr = line_pick(rng) * 64 + (t % 64);
+      s.reads = count(rng);
+      s.writes = count(rng);
+      if (s.reads + s.writes == 0) s.reads = 1;
+      batch.push_back(s);
+    }
+    by_batch.access_batch(batch);
+    for (const auto& s : batch) {
+      for (std::uint32_t k = 0; k < s.reads; ++k) {
+        by_access.access(s.addr, false);
+      }
+      for (std::uint32_t k = 0; k < s.writes; ++k) {
+        by_access.access(s.addr, true);
+      }
+    }
+    expect_same_stats(by_batch, by_access, what);
+  }
+}
+
+TEST(AccessBatch, BitIdenticalToPerAccessLru) {
+  batch_identity_trial({tiny_cache(1024), tiny_cache(8192, 4)},
+                       "batch-lru");
+}
+
+TEST(AccessBatch, BitIdenticalToPerAccessFifo) {
+  auto l1 = tiny_cache(1024);
+  l1.policy = ReplacementPolicy::FIFO;
+  auto l2 = tiny_cache(8192, 4);
+  l2.policy = ReplacementPolicy::FIFO;
+  batch_identity_trial({l1, l2}, "batch-fifo");
+}
+
+TEST(AccessBatch, BitIdenticalToPerAccessWriteAround) {
+  // A pure-write segment missing a write-around L1 must fall through
+  // at full multiplicity; an rmw segment's read part allocates, so its
+  // writes all hit even without write-allocate.
+  auto l1 = tiny_cache(1024);
+  l1.write_allocate = false;
+  batch_identity_trial({l1, tiny_cache(8192, 4)}, "batch-write-around");
+}
+
+TEST(AccessBatch, SingleLevelHierarchy) {
+  batch_identity_trial({tiny_cache(1024)}, "batch-single-level");
+}
+
+TEST(ReplayArena, CachesDecodesAcrossReplaysAndSpecs) {
+  ReplayArena arena;
+  const auto specA = small_spec(AccessPattern::Gather, 2, 1 << 9);
+  const auto specB = small_spec(AccessPattern::Streaming, 2, 1 << 9);
+  const auto& a1 = arena.decoded(specA, 64);
+  const auto a1_accesses = a1.accesses;
+  const auto& b1 = arena.decoded(specB, 64);
+  (void)b1;
+  // Re-requesting A must serve the cached slot, not re-decode.
+  const auto& a2 = arena.decoded(specA, 64);
+  EXPECT_EQ(&a1, &a2);
+  EXPECT_EQ(a2.accesses, a1_accesses);
+  // Same spec at a different line size is a different decode.
+  const auto& a3 = arena.decoded(specA, 128);
+  EXPECT_NE(&a2, &a3);
+
+  // Replays through an explicit arena match the thread-default path.
+  const auto m = machine::visionfive_v2();
+  ReplayOptions with_arena;
+  with_arena.arena = &arena;
+  const auto r1 = replay_stream(m, specA, 4, with_arena);
+  const auto r2 = replay_stream(m, specA, 4);
+  EXPECT_EQ(r1.steady_miss_rate, r2.steady_miss_rate);
+  expect_same_stats(r1.hierarchy, r2.hierarchy, "arena-reuse");
+}
+
 // ------------------------------------------------- stream/vector replay --
 TEST(Replay, StreamMatchesVectorOnEveryPattern) {
   const auto m = machine::sg2042();
@@ -235,16 +373,22 @@ TEST(Replay, EarlyExitReportsSkippedRepsToObs) {
   EXPECT_GT(after, before);
 }
 
-TEST(Replay, GatherNeverExtrapolates) {
+TEST(Replay, GatherExtrapolationIsExact) {
+  // Gather used to be excluded from early exit; with the arena-decoded
+  // buffer every rep replays the identical gathered stream, so the
+  // periodicity argument applies to it like any other pattern. The
+  // fast path must still be bit-identical to the full simulation.
   const auto m = machine::visionfive_v2();
   const auto spec = small_spec(AccessPattern::Gather, 2, 1 << 10);
-  const auto r = replay_stream(m, spec, 8);
+  ReplayOptions full;
+  full.early_exit = false;
+  const auto exact = replay_stream(m, spec, 8, full);
+  const auto fast = replay_stream(m, spec, 8);
+  EXPECT_EQ(exact.accesses, fast.accesses);
+  EXPECT_EQ(exact.steady_miss_rate, fast.steady_miss_rate);
+  expect_same_stats(exact.hierarchy, fast.hierarchy, "gather-early-exit");
   TraceCursor cursor(spec);
-  // Every rep was simulated: the telemetry access count equals reps x
-  // the per-sweep total (extrapolated reps never reach the hierarchy).
-  EXPECT_EQ(r.hierarchy.telemetry().accesses,
-            8 * cursor.total_accesses());
-  EXPECT_EQ(r.accesses, 8 * cursor.total_accesses());
+  EXPECT_EQ(fast.accesses, 8 * cursor.total_accesses());
 }
 
 TEST(Replay, RejectsNonPositiveReps) {
