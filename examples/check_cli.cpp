@@ -58,6 +58,7 @@ struct Options {
   unsigned fuzz_seeds = 0;
   unsigned fuzz_cachesim_seeds = 4;
   unsigned fuzz_segment_seeds = 4;
+  unsigned fuzz_request_seeds = 16;
   std::optional<std::string> persist_dir;
   std::optional<sgp::resilience::FaultPlan> io_fault_plan;
   int jobs = 0;  ///< check/fuzz/engine workers; 0 = one per hw thread
@@ -69,6 +70,7 @@ struct Options {
             << "usage: " << argv0
             << " [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]"
                " [--fuzz-cachesim <n>] [--fuzz-segments <n>]"
+               " [--fuzz-requests <n>]"
                " [--persist <dir>] [--inject-io <plan>] [--jobs <n>]"
                " [--skip-invariants]\n";
   std::exit(64);
@@ -102,6 +104,8 @@ Options parse_args(int argc, char** argv) {
       opt.fuzz_cachesim_seeds = static_cast<unsigned>(number(value()));
     } else if (arg == "--fuzz-segments") {
       opt.fuzz_segment_seeds = static_cast<unsigned>(number(value()));
+    } else if (arg == "--fuzz-requests") {
+      opt.fuzz_request_seeds = static_cast<unsigned>(number(value()));
     } else if (arg == "--persist") {
       opt.persist_dir = value();
     } else if (arg == "--inject-io") {
@@ -274,7 +278,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 7. Checkpoint/resume identity: a persistent engine renders every
+  // 7. sgp-serve request parser robustness fuzzing.
+  if (opt.fuzz_request_seeds > 0) {
+    const auto report =
+        check::fuzz_requests(4000, opt.fuzz_request_seeds, opt.jobs);
+    std::cout << "request fuzz over " << opt.fuzz_request_seeds
+              << " seeds: " << report.points << " points, "
+              << report.violations.size() << " violations\n";
+    if (!report.ok()) {
+      failed = true;
+      print_violations(report);
+    }
+  }
+
+  // 8. Checkpoint/resume identity: a persistent engine renders every
   // pipeline and flushes its memo cache; a second cold engine resumes
   // from the same store (under --inject-io faults if given) and must
   // reproduce the CSVs byte-for-byte. Without injected faults the

@@ -68,6 +68,7 @@
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "resilience/fault_injector.hpp"
+#include "serve/json.hpp"
 
 namespace {
 
@@ -82,7 +83,7 @@ struct Options {
   native::RunPolicy policy;
   std::optional<std::string> csv_path;
   std::optional<resilience::FaultPlan> fault_plan;
-  unsigned inject_seed = 4242u;
+  std::uint64_t inject_seed = 4242u;
   std::optional<std::string> checkpoint_path;
   std::optional<resilience::FaultPlan> io_fault_plan;
   std::optional<std::string> trace_path;
@@ -164,9 +165,24 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--keep-going") {
       opt.policy.keep_going = true;
     } else if (arg == "--kernel-timeout") {
-      opt.policy.kernel_timeout_s = next_double();
+      // Validated here, at parse time: a negative (or NaN) timeout is a
+      // usage error (exit 64), not a fatal runtime error later.
+      const double t = next_double();
+      if (!(t >= 0.0)) {
+        throw std::invalid_argument("bad value '" + std::to_string(t) +
+                                    "' for " + arg);
+      }
+      opt.policy.kernel_timeout_s = t;
     } else if (arg == "--retries") {
-      opt.policy.retry.max_attempts = 1 + next_int();
+      // Non-negative integer, validated at parse time — "--retries -2"
+      // used to flow through as max_attempts == -1 and only die inside
+      // the runner (exit 2 instead of the usage exit 64).
+      const auto v = next();
+      const auto n = serve::parse_u64(v);
+      if (!n || *n > 1000000) {
+        throw std::invalid_argument("bad value '" + v + "' for " + arg);
+      }
+      opt.policy.retry.max_attempts = 1 + static_cast<int>(*n);
     } else if (arg == "--backoff-ms") {
       opt.policy.retry.backoff_initial_ms = next_double();
     } else if (arg == "--backoff-jitter") {
@@ -179,7 +195,15 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--inject") {
       opt.fault_plan = resilience::FaultPlan::parse(next());
     } else if (arg == "--inject-seed") {
-      opt.inject_seed = static_cast<unsigned>(next_int());
+      // Full-range uint64 seed (shared parser with the sgp-serve
+      // request validator). std::stoi + static_cast<unsigned> used to
+      // wrap negatives silently and reject any seed above INT_MAX.
+      const auto v = next();
+      const auto seed = serve::parse_u64(v);
+      if (!seed) {
+        throw std::invalid_argument("bad value '" + v + "' for " + arg);
+      }
+      opt.inject_seed = *seed;
     } else if (arg == "--checkpoint") {
       opt.checkpoint_path = next();
     } else if (arg == "--inject-io") {
@@ -192,6 +216,9 @@ Options parse_args(int argc, char** argv) {
       throw std::invalid_argument("unknown option " + arg);
     }
   }
+  // Usage errors must surface as exit 64 from here, not exit 2 from the
+  // SuiteRunner constructor (which validates again as a backstop).
+  opt.policy.validate();
   return opt;
 }
 

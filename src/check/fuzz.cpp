@@ -12,7 +12,9 @@
 #include "engine/persist.hpp"
 #include "kernels/register_all.hpp"
 #include "machine/placement.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
 
 namespace sgp::check {
 
@@ -488,6 +490,236 @@ CheckReport fuzz_segments(unsigned first_seed, unsigned num_seeds,
     std::error_code ec;
     fs::remove(path, ec);
     fs::remove(path + ".quarantine", ec);
+    return shard;
+  });
+}
+
+namespace {
+
+/// One seeded, random-but-valid request line covering every op and the
+/// simulation-field surface (machines, kernel lists, thread grids,
+/// formats, deadlines).
+std::string random_request_line(std::mt19937_64& rng) {
+  const std::string id = "req-" + std::to_string(rng() % 100000);
+  const std::uint64_t kind = rng() % 8;
+  if (kind == 0) return "{\"id\":\"" + id + "\",\"op\":\"ping\"}";
+  if (kind == 1) return "{\"id\":\"" + id + "\",\"op\":\"stats\"}";
+  if (kind == 2) return "{\"id\":\"" + id + "\",\"op\":\"metrics\"}";
+
+  // Multicore machines only, so any thread pick below stays in range.
+  static const char* kMachines[] = {"sg2042", "rome", "icelake",
+                                    "broadwell"};
+  static const char* kKernels[] = {"TRIAD", "COPY", "GEMM", "DOT",
+                                   "JACOBI_2D"};
+  const std::string machine = kMachines[rng() % std::size(kMachines)];
+  std::string line = "{\"id\":\"" + id + "\"";
+  line += ",\"machine\":\"" + machine + "\"";
+  // simulate takes exactly one point, so it always pins one precision;
+  // sweep may also omit the field (default: both).
+  if (kind == 3 || rng() % 2 == 0) {
+    line += std::string(",\"precision\":\"") +
+            (rng() % 2 == 0 ? "fp32" : "fp64") + "\"";
+  }
+  if (rng() % 2 == 0) {
+    line += std::string(",\"format\":\"") +
+            (rng() % 2 == 0 ? "csv" : "json") + "\"";
+  }
+  if (rng() % 3 == 0) {
+    line += ",\"deadline_ms\":" + std::to_string(100 + rng() % 1000);
+  }
+  if (kind == 3) {
+    line += ",\"op\":\"simulate\"";
+    line += std::string(",\"kernel\":\"") +
+            kKernels[rng() % std::size(kKernels)] + "\"";
+    line += ",\"threads\":" + std::to_string(1 + rng() % 16);
+  } else {
+    line += ",\"op\":\"sweep\"";
+    const std::size_t nk = 1 + rng() % 3;
+    const std::size_t base = rng() % std::size(kKernels);
+    line += ",\"kernels\":[";
+    for (std::size_t k = 0; k < nk; ++k) {
+      if (k > 0) line += ",";
+      // Consecutive names from a random offset: distinct for nk <= 5
+      // (duplicates are correctly rejected, so the valid line must
+      // avoid them).
+      line += std::string("\"") +
+              kKernels[(base + k) % std::size(kKernels)] + "\"";
+    }
+    line += "]";
+    line += ",\"threads\":[1," + std::to_string(2 + rng() % 15) + "]";
+  }
+  line += "}";
+  return line;
+}
+
+enum class ReqMutation {
+  Truncate,      ///< drop a random non-zero tail (torn client write)
+  ByteGarbage,   ///< overwrite 1..4 random bytes with random values
+  BadUtf8,       ///< splice an invalid UTF-8 sequence into the line
+  UnknownField,  ///< insert a field no schema knows
+  DuplicateKey,  ///< repeat the id key (RFC 8259 object abuse)
+  Oversize,      ///< pad the line past max_line_bytes
+  kCount
+};
+
+const char* req_mutation_name(ReqMutation m) {
+  switch (m) {
+    case ReqMutation::Truncate: return "truncate";
+    case ReqMutation::ByteGarbage: return "byte-garbage";
+    case ReqMutation::BadUtf8: return "bad-utf8";
+    case ReqMutation::UnknownField: return "unknown-field";
+    case ReqMutation::DuplicateKey: return "duplicate-key";
+    case ReqMutation::Oversize: return "oversize";
+    case ReqMutation::kCount: break;
+  }
+  return "?";
+}
+
+void req_mutate(std::string& line, ReqMutation m, std::mt19937_64& rng,
+                std::size_t max_line_bytes) {
+  switch (m) {
+    case ReqMutation::Truncate:
+      line.resize(rng() % line.size());  // strictly shorter
+      break;
+    case ReqMutation::ByteGarbage: {
+      const std::size_t n = 1 + rng() % 4;
+      for (std::size_t i = 0; i < n; ++i) {
+        line[rng() % line.size()] = static_cast<char>(rng() % 256);
+      }
+      break;
+    }
+    case ReqMutation::BadUtf8: {
+      static const char* kBad[] = {
+          "\xff", "\x80", "\xc0\x80", "\xed\xa0\x80", "\xf5\x80\x80\x80"};
+      line.insert(rng() % line.size(), kBad[rng() % std::size(kBad)]);
+      break;
+    }
+    case ReqMutation::UnknownField:
+      // After the opening brace, so the object still parses as JSON and
+      // rejection must come from schema validation.
+      line.insert(1, "\"xq_unknown_field\":12345,");
+      break;
+    case ReqMutation::DuplicateKey:
+      line.insert(1, "\"id\":\"twin\",");
+      break;
+    case ReqMutation::Oversize:
+      line.append(max_line_bytes + 1 - std::min(line.size(),
+                                                max_line_bytes),
+                  ' ');
+      break;
+    case ReqMutation::kCount:
+      break;
+  }
+}
+
+void add_request_violation(CheckReport& report, unsigned seed,
+                           const std::string& stage,
+                           const std::string& detail) {
+  obs::registry().counter("check.serve-request-robustness.violations").add();
+  report.violations.push_back(Violation{
+      "serve-request-robustness", "request-fuzz",
+      "seed-" + std::to_string(seed), stage, detail});
+}
+
+/// Canonical rendering of a parse outcome, for determinism comparison
+/// and diagnostics.
+std::string outcome_repr(const serve::ParseOutcome& o) {
+  if (const auto* req = std::get_if<serve::Request>(&o)) {
+    return "ok fp=" + std::to_string(req->fingerprint()) +
+           " id=" + req->id;
+  }
+  const auto& [id, err] =
+      std::get<std::pair<std::string, serve::ServeError>>(o);
+  return "err code=" + std::string(serve::to_string(err.code)) +
+         " id=" + id + " msg=" + err.message;
+}
+
+}  // namespace
+
+CheckReport fuzz_requests(unsigned first_seed, unsigned num_seeds,
+                          int jobs) {
+  // Small line cap so the oversize mutation stays cheap per seed.
+  serve::ProtocolLimits limits;
+  limits.max_line_bytes = 4096;
+
+  return sharded_reports(num_seeds, jobs, [&](std::size_t i) {
+    const unsigned seed = first_seed + static_cast<unsigned>(i);
+    CheckReport shard;
+    auto point = [&shard] {
+      ++shard.points;
+      obs::registry().counter("check.serve-request-robustness.points").add();
+    };
+
+    std::mt19937_64 rng(seed);
+    std::string line = random_request_line(rng);
+
+    // 1. The untouched line is accepted.
+    point();
+    try {
+      const auto ok = serve::parse_request(line, limits);
+      if (!std::holds_alternative<serve::Request>(ok)) {
+        add_request_violation(shard, seed, "valid-line",
+                              "rejected: " + outcome_repr(ok) +
+                                  " line=" + line);
+      }
+    } catch (const std::exception& e) {
+      add_request_violation(shard, seed, "valid-line",
+                            std::string("threw: ") + e.what());
+      return shard;
+    }
+
+    // 2. A seeded mutation: never crash, classify deterministically,
+    //    and structured errors must render as valid JSON lines.
+    const auto m = static_cast<ReqMutation>(
+        rng() % static_cast<std::uint64_t>(ReqMutation::kCount));
+    req_mutate(line, m, rng, limits.max_line_bytes);
+    const std::string stage = req_mutation_name(m);
+    try {
+      const auto first = serve::parse_request(line, limits);
+      const auto second = serve::parse_request(line, limits);
+      point();
+      if (outcome_repr(first) != outcome_repr(second)) {
+        add_request_violation(shard, seed, stage,
+                              "nondeterministic classification: " +
+                                  outcome_repr(first) + " vs " +
+                                  outcome_repr(second));
+      }
+      // Structural mutations are guaranteed rejections; byte-level ones
+      // may legitimately still parse (a flip inside a string literal).
+      const bool must_fail = m == ReqMutation::UnknownField ||
+                             m == ReqMutation::DuplicateKey ||
+                             m == ReqMutation::Oversize ||
+                             m == ReqMutation::Truncate;
+      if (const auto* failed =
+              std::get_if<std::pair<std::string, serve::ServeError>>(
+                  &first)) {
+        point();
+        const auto& err = failed->second;
+        const std::string rendered =
+            serve::render_error(failed->first, err);
+        if (err.message.empty() ||
+            serve::to_string(err.code) == std::string_view("?") ||
+            !obs::json_valid(rendered)) {
+          add_request_violation(shard, seed, stage,
+                                "unstructured error: " + rendered);
+        }
+        if (m == ReqMutation::Oversize &&
+            err.code != serve::ErrorCode::TooLarge) {
+          add_request_violation(
+              shard, seed, stage,
+              "oversize line classified as " +
+                  std::string(serve::to_string(err.code)));
+        }
+      } else if (must_fail) {
+        point();
+        add_request_violation(shard, seed, stage,
+                              "mutation not detected: " +
+                                  outcome_repr(first));
+      }
+    } catch (const std::exception& e) {
+      add_request_violation(shard, seed, stage,
+                            std::string("threw: ") + e.what());
+    }
     return shard;
   });
 }

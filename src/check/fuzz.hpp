@@ -64,4 +64,15 @@ CheckReport fuzz_cachesim(unsigned first_seed, unsigned num_seeds,
 CheckReport fuzz_segments(unsigned first_seed, unsigned num_seeds,
                           const std::string& dir, int jobs = 1);
 
+/// Fuzzes the sgp-serve request parser (serve/protocol.hpp): per seed,
+/// builds a random-but-valid request line, checks it parses cleanly,
+/// then applies a seeded mutation (truncation, byte garbage, bad
+/// UTF-8, unknown fields, duplicate keys, oversized payloads) and
+/// demands the parser never crash, classify deterministically (two
+/// parses of the same bytes agree exactly), and on failure produce a
+/// structured error whose rendered response line is itself valid JSON
+/// (invariant "serve-request-robustness").
+CheckReport fuzz_requests(unsigned first_seed, unsigned num_seeds,
+                          int jobs = 1);
+
 }  // namespace sgp::check

@@ -51,16 +51,21 @@ void count_outcome(const KernelRunRecord& rec) {
 
 }  // namespace
 
+void RunPolicy::validate() const {
+  retry.validate();
+  // !(x >= 0) also rejects NaN, which a < comparison would let through.
+  if (!(kernel_timeout_s >= 0.0)) {
+    throw std::invalid_argument("RunPolicy: kernel_timeout_s must be >= 0");
+  }
+}
+
 SuiteRunner::SuiteRunner(const core::Registry& registry, core::RunParams rp)
     : SuiteRunner(registry, rp, RunPolicy{}) {}
 
 SuiteRunner::SuiteRunner(const core::Registry& registry, core::RunParams rp,
                          RunPolicy policy)
     : registry_(registry), rp_(rp), policy_(std::move(policy)) {
-  policy_.retry.validate();
-  if (policy_.kernel_timeout_s < 0.0) {
-    throw std::invalid_argument("RunPolicy: kernel_timeout_s must be >= 0");
-  }
+  policy_.validate();
   if (rp_.num_threads <= 1) {
     exec_ = std::make_unique<core::SerialExecutor>();
   } else {

@@ -55,6 +55,12 @@ struct RunPolicy {
   std::vector<std::string> quarantine;
   /// Optional fault injector (not owned; must outlive the runner).
   resilience::FaultInjector* injector = nullptr;
+
+  /// Throws std::invalid_argument on nonsensical parameters (negative
+  /// or NaN kernel_timeout_s, bad retry policy). The SuiteRunner
+  /// constructor runs this, and CLIs call it at parse time so bad
+  /// flags exit 64 before any kernel work starts.
+  void validate() const;
 };
 
 class SuiteRunner {

@@ -128,15 +128,18 @@ FaultPlan FaultPlan::parse(std::string_view text) {
   return plan;
 }
 
-FaultInjector::FaultInjector(FaultPlan plan, unsigned seed) {
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed) {
+  // Fold the 64-bit seed into the mt19937's 32-bit state; seeds below
+  // 2^32 fold to themselves, preserving historical fault sequences.
+  const unsigned folded = static_cast<unsigned>(seed ^ (seed >> 32));
   for (auto& spec : plan.specs()) {
     State st;
     st.spec = spec;
     st.remaining = spec.max_triggers;
     // Per-kernel stream: the same plan + seed always faults the same
     // attempts regardless of suite order or other kernels' draws.
-    st.rng.seed(seed ^ static_cast<unsigned>(
-                           std::hash<std::string>{}(spec.kernel)));
+    st.rng.seed(folded ^ static_cast<unsigned>(
+                             std::hash<std::string>{}(spec.kernel)));
     states_.push_back(std::move(st));
   }
 }

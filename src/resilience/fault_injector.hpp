@@ -111,7 +111,10 @@ struct ArmedFault {
 /// retry succeed — the shape of a transient platform fault.
 class FaultInjector {
  public:
-  explicit FaultInjector(FaultPlan plan, unsigned seed = 4242u);
+  /// `seed` accepts the full 64-bit range (CLI seeds are parsed as
+  /// uint64). Seeds below 2^32 produce the exact same fault sequences
+  /// as the historical unsigned-seed constructor.
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 4242u);
 
   /// Arms (and consumes) the fault for one attempt of `kernel`.
   ArmedFault arm(std::string_view kernel);

@@ -33,11 +33,20 @@ struct PoolMetrics {
 
 }  // namespace
 
-int recommended_jobs(int requested) noexcept {
-  const unsigned hw = std::thread::hardware_concurrency();
-  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+int recommended_jobs_for(int requested, unsigned hardware) noexcept {
+  const int fallback = hardware == 0 ? 1 : static_cast<int>(hardware);
   if (requested <= 0) return fallback;
   return std::min(requested, 4 * fallback);
+}
+
+int recommended_jobs(int requested) noexcept {
+  const int jobs =
+      recommended_jobs_for(requested, std::thread::hardware_concurrency());
+  if (requested > 0 && jobs < requested) {
+    obs::registry().counter("pool.jobs_clamped").add();
+    obs::registry().gauge("pool.jobs_clamp_last").set(jobs);
+  }
+  return jobs;
 }
 
 std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(std::size_t n,

@@ -22,8 +22,15 @@ namespace sgp::threading {
 /// >= 1 are clamped to [1, 4 * hardware_concurrency]; 0 (or negative)
 /// means "one per hardware thread" (at least 1 when the runtime cannot
 /// tell). Shared by the sweep engine and the bench binaries so every
-/// surface resolves jobs the same way.
+/// surface resolves jobs the same way. A clamp is no longer silent: it
+/// bumps the "pool.jobs_clamped" obs counter and records the resolved
+/// count in the "pool.jobs_clamp_last" gauge.
 int recommended_jobs(int requested) noexcept;
+
+/// The pure resolution rule behind recommended_jobs, parameterized on
+/// the hardware thread count so the hardware_concurrency() == 0
+/// fallback is unit-testable.
+int recommended_jobs_for(int requested, unsigned hardware) noexcept;
 
 class ThreadPool final : public core::Executor {
  public:

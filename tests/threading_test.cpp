@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -295,6 +296,29 @@ TEST(ThreadPoolExceptions, SingleThreadPropagatesDirectly) {
                      throw std::runtime_error("serial dynamic");
                    }),
                std::runtime_error);
+}
+
+// recommended_jobs_for is the pure core of recommended_jobs: the
+// hardware count is a parameter, so the hardware_concurrency()==0
+// fallback (a real possibility on exotic RISC-V boards) is testable.
+TEST(RecommendedJobs, HardwareZeroFallsBackToOne) {
+  EXPECT_EQ(recommended_jobs_for(0, 0), 1);
+  EXPECT_EQ(recommended_jobs_for(-3, 0), 1);
+  // The 4x oversubscription cap applies to the fallback too.
+  EXPECT_EQ(recommended_jobs_for(16, 0), 4);
+}
+
+TEST(RecommendedJobs, ClampsToFourTimesHardware) {
+  EXPECT_EQ(recommended_jobs_for(0, 8), 8);    // default: one per thread
+  EXPECT_EQ(recommended_jobs_for(7, 8), 7);    // under the cap: as asked
+  EXPECT_EQ(recommended_jobs_for(32, 8), 32);  // exactly at the cap
+  EXPECT_EQ(recommended_jobs_for(64, 8), 32);  // over: clamped, not silent
+  EXPECT_EQ(recommended_jobs_for(1000000, 2), 8);
+}
+
+TEST(RecommendedJobs, WrapperAgreesWithPureCore) {
+  const int got = recommended_jobs(3);
+  EXPECT_EQ(got, recommended_jobs_for(3, std::thread::hardware_concurrency()));
 }
 
 }  // namespace
