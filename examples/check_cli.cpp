@@ -25,13 +25,24 @@
 //      same store (optionally under --inject-io faults) and requires
 //      byte-identical CSVs with zero re-simulations on the clean path.
 //
+// Machines come from machine::shared_registry(): --machine-dir loads
+// INI packs next to the built-ins, --machine restricts the
+// invariant/cachesim stages to named machines (default: the paper's
+// seven), and --lint-machines <dir> is a standalone mode validating
+// every pack in a directory (parse + validate() + the roofline
+// invariants with the scalar floor off) — the machine-pack CI gate.
+//
 //   ./check_cli [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]
 //               [--fuzz-cachesim <n>] [--fuzz-segments <n>]
+//               [--fuzz-requests <n>] [--fuzz-ini <n>]
+//               [--machine <name>] [--machine-dir <dir>]
+//               [--lint-machines <dir>]
 //               [--persist <dir>] [--inject-io <plan>] [--jobs <n>]
 //               [--skip-invariants]
 //
 // Exit codes: 0 = all checks pass, 1 = violations or divergences,
 // 64 = usage error (matching the suite/bench CLI conventions).
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -47,6 +58,8 @@
 #include "engine/engine.hpp"
 #include "kernels/register_all.hpp"
 #include "machine/descriptor.hpp"
+#include "machine/registry.hpp"
+#include "machine/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "resilience/fault_injector.hpp"
 
@@ -59,6 +72,10 @@ struct Options {
   unsigned fuzz_cachesim_seeds = 4;
   unsigned fuzz_segment_seeds = 4;
   unsigned fuzz_request_seeds = 16;
+  unsigned fuzz_ini_seeds = 16;
+  std::vector<std::string> machines;      ///< invariant/cachesim set
+  std::vector<std::string> machine_dirs;  ///< INI packs to register
+  std::optional<std::string> lint_dir;    ///< standalone pack linter
   std::optional<std::string> persist_dir;
   std::optional<sgp::resilience::FaultPlan> io_fault_plan;
   int jobs = 0;  ///< check/fuzz/engine workers; 0 = one per hw thread
@@ -70,7 +87,9 @@ struct Options {
             << "usage: " << argv0
             << " [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]"
                " [--fuzz-cachesim <n>] [--fuzz-segments <n>]"
-               " [--fuzz-requests <n>]"
+               " [--fuzz-requests <n>] [--fuzz-ini <n>]"
+               " [--machine <name>] [--machine-dir <dir>]"
+               " [--lint-machines <dir>]"
                " [--persist <dir>] [--inject-io <plan>] [--jobs <n>]"
                " [--skip-invariants]\n";
   std::exit(64);
@@ -106,6 +125,14 @@ Options parse_args(int argc, char** argv) {
       opt.fuzz_segment_seeds = static_cast<unsigned>(number(value()));
     } else if (arg == "--fuzz-requests") {
       opt.fuzz_request_seeds = static_cast<unsigned>(number(value()));
+    } else if (arg == "--fuzz-ini") {
+      opt.fuzz_ini_seeds = static_cast<unsigned>(number(value()));
+    } else if (arg == "--machine") {
+      opt.machines.push_back(value());
+    } else if (arg == "--machine-dir") {
+      opt.machine_dirs.push_back(value());
+    } else if (arg == "--lint-machines") {
+      opt.lint_dir = value();
     } else if (arg == "--persist") {
       opt.persist_dir = value();
     } else if (arg == "--inject-io") {
@@ -144,12 +171,110 @@ void print_violations(const sgp::check::CheckReport& report,
   }
 }
 
+/// The registry names of the paper's seven machines (the default
+/// invariant/cachesim set; the D1 background machine stays opt-in via
+/// --machine, as it always has).
+std::vector<std::string> default_check_machines() {
+  return {"sg2042", "visionfive-v1", "visionfive-v2", "rome",
+          "broadwell", "icelake", "sandybridge"};
+}
+
+/// Standalone pack linter: parse + validate() + the roofline
+/// invariants over the fuzz kernel set with the scalar floor off (a
+/// pack need not be calibrated like the paper machines). Exit 0 when
+/// every pack passes, 1 on any failure, 64 on a bad directory.
+int lint_machines(const std::string& dir, int jobs) {
+  namespace fs = std::filesystem;
+  using namespace sgp;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::cerr << "check_cli: --lint-machines: not a directory: " << dir
+              << "\n";
+    return 64;
+  }
+  std::vector<fs::path> packs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ini") {
+      packs.push_back(entry.path());
+    }
+  }
+  std::sort(packs.begin(), packs.end());
+  if (packs.empty()) {
+    std::cerr << "check_cli: --lint-machines: no *.ini packs in " << dir
+              << "\n";
+    return 64;
+  }
+
+  const check::FuzzOptions fuzz_opt;
+  std::vector<core::KernelSignature> sigs;
+  for (const auto& sig : kernels::all_signatures()) {
+    if (std::find(fuzz_opt.kernels.begin(), fuzz_opt.kernels.end(),
+                  sig.name) != fuzz_opt.kernels.end()) {
+      sigs.push_back(sig);
+    }
+  }
+
+  bool failed = false;
+  for (const auto& path : packs) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw std::invalid_argument("cannot open file");
+      std::ostringstream text;
+      text << in.rdbuf();
+      const auto m = machine::from_ini(text.str());
+      const auto report = check::check_machine(m, sigs, fuzz_opt.check, jobs);
+      if (!report.ok()) {
+        failed = true;
+        std::cout << "lint " << path.string() << ": FAIL ("
+                  << report.violations.size() << " violations)\n";
+        print_violations(report);
+      } else {
+        std::cout << "lint " << path.string() << ": ok (" << m.name << ", "
+                  << report.points << " points)\n";
+      }
+    } catch (const std::exception& e) {
+      failed = true;
+      std::cout << "lint " << path.string() << ": FAIL " << e.what() << "\n";
+    }
+  }
+  std::cout << (failed ? "FAIL" : "OK") << "\n";
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sgp;
   const Options opt = parse_args(argc, argv);
   bool failed = false;
+
+  // Machine packs register before anything resolves names; a corrupt
+  // pack is quarantined with a warning, a bad directory is fatal.
+  for (const auto& dir : opt.machine_dirs) {
+    try {
+      const auto report = machine::shared_registry().register_ini_dir(dir);
+      for (const auto& err : report.errors) {
+        std::cerr << "warning: machine pack " << err.file << ": "
+                  << err.message << " (quarantined)\n";
+      }
+    } catch (const std::exception& e) {
+      usage_error(argv[0], e.what());
+    }
+  }
+
+  if (opt.lint_dir) return lint_machines(*opt.lint_dir, opt.jobs);
+
+  // The machines the invariant and cachesim stages run over, resolved
+  // through the registry (so --machine accepts INI-loaded packs too).
+  std::vector<const machine::MachineDescriptor*> check_machines;
+  for (const auto& name :
+       opt.machines.empty() ? default_check_machines() : opt.machines) {
+    try {
+      check_machines.push_back(&machine::shared_registry().descriptor(name));
+    } catch (const std::out_of_range& e) {
+      usage_error(argv[0], e.what());
+    }
+  }
 
   // Regeneration mode: render every pipeline on a forced-serial engine
   // and pin the result. No checks run.
@@ -163,12 +288,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // 1. Invariants over the paper machines.
+  // 1. Invariants over the registry-resolved machine set.
   if (!opt.skip_invariants) {
     const auto sigs = kernels::all_signatures();
-    for (const auto& m : machine::all_machines()) {
-      const auto report = check::check_machine(m, sigs, {}, opt.jobs);
-      std::cout << "invariants " << m.name << ": " << report.points
+    for (const auto* m : check_machines) {
+      const auto report = check::check_machine(*m, sigs, {}, opt.jobs);
+      std::cout << "invariants " << m->name << ": " << report.points
                 << " points, " << report.violations.size()
                 << " violations\n";
       if (!report.ok()) {
@@ -196,8 +321,8 @@ int main(int argc, char** argv) {
   // random fuzzed descriptors.
   {
     check::CheckReport report;
-    for (const auto& m : machine::all_machines()) {
-      report.merge(check::cachesim_agreement(m));
+    for (const auto* m : check_machines) {
+      report.merge(check::cachesim_agreement(*m));
     }
     if (opt.fuzz_cachesim_seeds > 0) {
       report.merge(check::fuzz_cachesim(2000, opt.fuzz_cachesim_seeds,
@@ -283,6 +408,19 @@ int main(int argc, char** argv) {
     const auto report =
         check::fuzz_requests(4000, opt.fuzz_request_seeds, opt.jobs);
     std::cout << "request fuzz over " << opt.fuzz_request_seeds
+              << " seeds: " << report.points << " points, "
+              << report.violations.size() << " violations\n";
+    if (!report.ok()) {
+      failed = true;
+      print_violations(report);
+    }
+  }
+
+  // 7b. Machine INI serializer/parser + registry round-trip fuzzing.
+  if (opt.fuzz_ini_seeds > 0) {
+    const auto report =
+        check::fuzz_ini_roundtrip(5000, opt.fuzz_ini_seeds, opt.jobs);
+    std::cout << "machine-ini fuzz over " << opt.fuzz_ini_seeds
               << " seeds: " << report.points << " points, "
               << report.violations.size() << " violations\n";
     if (!report.ok()) {

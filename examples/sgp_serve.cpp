@@ -16,7 +16,9 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "machine/registry.hpp"
 #include "serve/json.hpp"
 #include "serve/server.hpp"
 
@@ -31,6 +33,10 @@ Transport (pick one; default is stdin/stdout pipe mode):
 Engine:
   --persist <dir>      durable memo cache directory (warm restarts)
   --jobs <n>           engine worker threads (0 = hardware threads)
+  --machine-dir <dir>  register every *.ini machine pack in <dir> into
+                       the machine registry before serving; requests can
+                       then name those machines (repeatable; see
+                       docs/MACHINES.md)
 
 Admission:
   --max-queue <n>      queue slots before "overloaded" rejections (256)
@@ -45,6 +51,7 @@ struct Options {
   sgp::serve::ServerOptions server;
   std::optional<std::string> socket_path;
   std::optional<std::string> input_path;
+  std::vector<std::string> machine_dirs;
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
@@ -91,6 +98,8 @@ Options parse_args(int argc, char** argv) {
       const std::uint64_t v = next_u64(i, "--max-batch");
       if (v == 0) usage_error("--max-batch must be positive");
       opt.server.max_batch = static_cast<std::size_t>(v);
+    } else if (arg == "--machine-dir") {
+      opt.machine_dirs.push_back(next_value(i, "--machine-dir"));
     } else if (arg == "--quiet") {
       opt.server.warn = false;
     } else {
@@ -107,6 +116,20 @@ Options parse_args(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
+  for (const auto& dir : opt.machine_dirs) {
+    try {
+      const auto report =
+          sgp::machine::shared_registry().register_ini_dir(dir);
+      for (const auto& err : report.errors) {
+        if (opt.server.warn) {
+          std::cerr << "sgp_serve: warning: machine pack " << err.file
+                    << ": " << err.message << " (quarantined)\n";
+        }
+      }
+    } catch (const std::exception& e) {
+      usage_error(e.what());
+    }
+  }
   try {
     sgp::serve::Server server(opt.server);
     if (opt.socket_path) {

@@ -40,9 +40,21 @@
 //     --trace <file>        write a Chrome trace_event JSON (open in
 //                           about:tracing or Perfetto)
 //     --metrics <file>      write a run manifest + metrics snapshot
+//     --machine <name>      simulated mode: instead of running kernels
+//                           natively, price the selected suite on the
+//                           named machine descriptor through the sweep
+//                           engine (machine::shared_registry() resolves
+//                           the name; unknown names exit 64 with a
+//                           did-you-mean hint). Incompatible with the
+//                           native-execution flags (--checkpoint,
+//                           --inject*, --retries, ...).
+//     --machine-dir <dir>   register every *.ini machine pack in <dir>
+//                           into the registry before resolving
+//                           --machine (see docs/MACHINES.md)
 //
 // Exit codes: 0 = all kernels ok (or skipped), 1 = completed with
 // partial failures, 2 = fatal error, 64 = usage error.
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -58,9 +70,11 @@
 #include <utility>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "engine/fingerprint.hpp"
 #include "engine/persist.hpp"
 #include "kernels/register_all.hpp"
+#include "machine/registry.hpp"
 #include "native/suite_runner.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
@@ -88,6 +102,8 @@ struct Options {
   std::optional<resilience::FaultPlan> io_fault_plan;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> machine;
+  std::vector<std::string> machine_dirs;
 };
 
 std::optional<core::Group> parse_group(const std::string& s) {
@@ -212,8 +228,26 @@ Options parse_args(int argc, char** argv) {
       opt.trace_path = next();
     } else if (arg == "--metrics") {
       opt.metrics_path = next();
+    } else if (arg == "--machine") {
+      opt.machine = next();
+    } else if (arg == "--machine-dir") {
+      opt.machine_dirs.push_back(next());
     } else {
       throw std::invalid_argument("unknown option " + arg);
+    }
+  }
+  if (opt.machine) {
+    // Simulated mode prices the suite analytically; flags that only
+    // make sense for native execution are a usage error, not silently
+    // ignored.
+    if (opt.checkpoint_path || opt.fault_plan || opt.io_fault_plan ||
+        opt.policy.keep_going || opt.policy.retry.max_attempts > 1 ||
+        opt.policy.kernel_timeout_s > 0.0 ||
+        !opt.policy.quarantine.empty()) {
+      throw std::invalid_argument(
+          "--machine (simulated mode) is incompatible with the native "
+          "execution flags (--checkpoint, --inject, --inject-io, "
+          "--keep-going, --retries, --kernel-timeout, --quarantine)");
     }
   }
   // Usage errors must surface as exit 64 from here, not exit 2 from the
@@ -442,6 +476,111 @@ void write_observability(const Options& opt,
   }
 }
 
+/// Simulated mode (--machine): prices the selected kernels on a
+/// registry-resolved machine descriptor through the shared sweep
+/// engine, instead of executing them natively. One grid call per
+/// precision; the table carries the model's time breakdown.
+int run_simulated(const Options& opt) {
+  const machine::MachineDescriptor* m = nullptr;
+  try {
+    m = &machine::shared_registry().descriptor(*opt.machine);
+  } catch (const std::out_of_range& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 64;
+  }
+  if (opt.rp.num_threads > m->num_cores) {
+    std::cerr << "error: --threads " << opt.rp.num_threads
+              << " exceeds the " << m->num_cores << " cores of '"
+              << *opt.machine << "'\n";
+    return 64;
+  }
+
+  // Same kernel selection rules as the native path, resolved against
+  // the model signatures instead of the native registry.
+  std::vector<core::KernelSignature> sigs;
+  const auto all = kernels::all_signatures();
+  if (!opt.kernels.empty()) {
+    for (const auto& name : opt.kernels) {
+      const auto it = std::find_if(
+          all.begin(), all.end(),
+          [&](const core::KernelSignature& s) { return s.name == name; });
+      if (it == all.end()) {
+        std::cerr << "error: unknown kernel '" << name << "'\n";
+        return 64;
+      }
+      sigs.push_back(*it);
+    }
+  } else {
+    for (const auto& s : all) {
+      if (!opt.group || s.group == *opt.group) sigs.push_back(s);
+    }
+  }
+
+  std::vector<sim::SimConfig> cfgs;
+  cfgs.reserve(opt.precisions.size());
+  for (const auto prec : opt.precisions) {
+    sim::SimConfig cfg;
+    cfg.precision = prec;
+    cfg.nthreads = opt.rp.num_threads;
+    cfgs.push_back(cfg);
+  }
+
+  auto& eng = engine::shared_engine();
+  const auto times = eng.run_grid(*m, sigs, cfgs);
+
+  std::cout << "simulated suite on " << m->name << " (" << m->num_cores
+            << " cores, " << opt.rp.num_threads << " threads)\n\n";
+  report::Table t({"kernel", "class", "precision", "est ms/rep",
+                   "est total s", "serving", "path"});
+  report::CsvWriter csv({"kernel", "class", "precision", "threads",
+                         "est_seconds", "compute_s", "memory_s", "sync_s",
+                         "serving", "vector_path"});
+  std::map<core::Group, std::pair<double, int>> class_time;
+  for (std::size_t c = 0; c < cfgs.size(); ++c) {
+    for (std::size_t s = 0; s < sigs.size(); ++s) {
+      const auto& sig = sigs[s];
+      const auto& tb = times[c * sigs.size() + s];
+      const auto prec = core::to_string(cfgs[c].precision);
+      t.add_row({sig.name, std::string(core::to_string(sig.group)),
+                 std::string(prec),
+                 report::Table::num(tb.total_s / sig.reps * 1e3, 3),
+                 report::Table::num(tb.total_s, 3),
+                 std::string(sim::to_string(tb.serving)),
+                 tb.vector_path ? "vector" : "scalar"});
+      csv.add_row({sig.name, std::string(core::to_string(sig.group)),
+                   std::string(prec), std::to_string(opt.rp.num_threads),
+                   report::Table::num(tb.total_s, 6),
+                   report::Table::num(tb.compute_s, 6),
+                   report::Table::num(tb.memory_s, 6),
+                   report::Table::num(tb.sync_s, 6),
+                   std::string(sim::to_string(tb.serving)),
+                   tb.vector_path ? "1" : "0"});
+      auto& [sum, n] = class_time[sig.group];
+      sum += tb.total_s;
+      ++n;
+    }
+  }
+  std::cout << t.render() << "\n";
+
+  report::Table summary({"class", "kernels x precisions", "est total s"});
+  for (const auto& [g, v] : class_time) {
+    summary.add_row({std::string(core::to_string(g)),
+                     std::to_string(v.second),
+                     report::Table::num(v.first, 3)});
+  }
+  std::cout << summary.render();
+
+  if (opt.csv_path) {
+    try {
+      csv.write(*opt.csv_path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -452,6 +591,19 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 64;
   }
+  for (const auto& dir : opt.machine_dirs) {
+    try {
+      const auto report = machine::shared_registry().register_ini_dir(dir);
+      for (const auto& err : report.errors) {
+        std::cerr << "warning: machine pack " << err.file << ": "
+                  << err.message << " (quarantined)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 64;
+    }
+  }
+  if (opt.machine) return run_simulated(opt);
   if (opt.trace_path) obs::Tracer::instance().enable();
 
   const auto registry = kernels::make_registry();

@@ -12,6 +12,8 @@
 #include "engine/persist.hpp"
 #include "kernels/register_all.hpp"
 #include "machine/placement.hpp"
+#include "machine/registry.hpp"
+#include "machine/serialize.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
@@ -720,6 +722,165 @@ CheckReport fuzz_requests(unsigned first_seed, unsigned num_seeds,
       add_request_violation(shard, seed, stage,
                             std::string("threw: ") + e.what());
     }
+    return shard;
+  });
+}
+
+// --------------------------------------------- machine INI round trip --
+
+namespace {
+
+void add_ini_violation(CheckReport& report, unsigned seed,
+                       const std::string& stage,
+                       const std::string& detail) {
+  obs::registry().counter("check.machine-ini-roundtrip.violations").add();
+  report.violations.push_back(Violation{
+      "machine-ini-roundtrip", "ini-fuzz",
+      "seed-" + std::to_string(seed), stage, detail});
+}
+
+/// A valid but non-uniform cluster variant of `m`: merges the first
+/// two clusters when they share a NUMA region, otherwise splits the
+/// first cluster with two or more cores. Returns `m` unchanged only
+/// for all-singleton single-cluster machines, where neither applies.
+machine::MachineDescriptor heterogeneous_variant(
+    const machine::MachineDescriptor& m) {
+  machine::MachineDescriptor out = m;
+  if (out.clusters.size() >= 2 &&
+      m.numa_of_core(out.clusters[0].front()) ==
+          m.numa_of_core(out.clusters[1].front())) {
+    out.clusters[0].insert(out.clusters[0].end(), out.clusters[1].begin(),
+                           out.clusters[1].end());
+    out.clusters.erase(out.clusters.begin() + 1);
+    return out;
+  }
+  for (auto it = out.clusters.begin(); it != out.clusters.end(); ++it) {
+    if (it->size() >= 2) {
+      std::vector<int> tail(it->begin() + 1, it->end());
+      it->resize(1);
+      out.clusters.insert(it + 1, std::move(tail));
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckReport fuzz_ini_roundtrip(unsigned first_seed, unsigned num_seeds,
+                               int jobs) {
+  return sharded_reports(num_seeds, jobs, [&](std::size_t i) {
+    const unsigned seed = first_seed + static_cast<unsigned>(i);
+    CheckReport shard;
+    auto point = [&shard] {
+      ++shard.points;
+      obs::registry().counter("check.machine-ini-roundtrip.points").add();
+    };
+
+    const auto m = random_machine(seed);
+    const std::string text = machine::to_ini(m);
+
+    // 1. The generated machine round-trips byte-identically.
+    point();
+    try {
+      const auto back = machine::from_ini(text);
+      if (machine::to_ini(back) != text || back.clusters != m.clusters ||
+          back.numa.size() != m.numa.size()) {
+        add_ini_violation(shard, seed, "round-trip",
+                          "to_ini(from_ini(text)) differs from text");
+      }
+    } catch (const std::exception& e) {
+      add_ini_violation(shard, seed, "round-trip",
+                        std::string("threw: ") + e.what());
+    }
+
+    // 2. Non-uniform clusters survive via explicit cluster.N lists
+    //    (the topology to_ini used to flatten to cluster_width).
+    point();
+    try {
+      const auto het = heterogeneous_variant(m);
+      het.validate();
+      const auto het_text = machine::to_ini(het);
+      const auto back = machine::from_ini(het_text);
+      if (back.clusters != het.clusters ||
+          machine::to_ini(back) != het_text) {
+        add_ini_violation(shard, seed, "heterogeneous-clusters",
+                          "cluster topology lost in round trip");
+      }
+    } catch (const std::exception& e) {
+      add_ini_violation(shard, seed, "heterogeneous-clusters",
+                        std::string("threw: ") + e.what());
+    }
+
+    // 3. A repeated section header is rejected, with a line number
+    //    (it used to merge silently).
+    point();
+    try {
+      (void)machine::from_ini(text + "\n[core]\nclock_ghz = 1\n");
+      add_ini_violation(shard, seed, "duplicate-section",
+                        "repeated [core] header accepted");
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      if (what.find("duplicate section") == std::string::npos ||
+          what.find("line ") == std::string::npos) {
+        add_ini_violation(shard, seed, "duplicate-section",
+                          "wrong error: " + what);
+      }
+    }
+
+    // 4. A repeated key is rejected, with a line number (last-one-wins
+    //    was silent data loss).
+    point();
+    {
+      std::string dup = text;
+      const auto pos = dup.find("num_cores = ");
+      dup.insert(pos, "num_cores = 1\n");
+      try {
+        (void)machine::from_ini(dup);
+        add_ini_violation(shard, seed, "duplicate-key",
+                          "repeated num_cores accepted");
+      } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        if (what.find("duplicate key 'num_cores'") == std::string::npos ||
+            what.find("line ") == std::string::npos) {
+          add_ini_violation(shard, seed, "duplicate-key",
+                            "wrong error: " + what);
+        }
+      }
+    }
+
+    // 5. An empty value is a clear parse error, not a silent default
+    //    (the shape a formatting failure used to produce).
+    point();
+    {
+      std::string empty_value = text;
+      const auto pos = empty_value.find("clock_ghz = ");
+      const auto eol = empty_value.find('\n', pos);
+      empty_value.replace(pos, eol - pos, "clock_ghz =");
+      try {
+        (void)machine::from_ini(empty_value);
+        add_ini_violation(shard, seed, "empty-value",
+                          "empty clock_ghz accepted");
+      } catch (const std::invalid_argument&) {
+        // rejected, as required
+      }
+    }
+
+    // 6. The descriptor registers and resolves through a registry.
+    point();
+    try {
+      machine::MachineRegistry registry;
+      registry.add(m.name, m);
+      if (!registry.contains(m.name) ||
+          registry.descriptor(m.name).num_cores != m.num_cores) {
+        add_ini_violation(shard, seed, "registry",
+                          "registered machine did not resolve");
+      }
+    } catch (const std::exception& e) {
+      add_ini_violation(shard, seed, "registry",
+                        std::string("threw: ") + e.what());
+    }
+
     return shard;
   });
 }

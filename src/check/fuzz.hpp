@@ -75,4 +75,15 @@ CheckReport fuzz_segments(unsigned first_seed, unsigned num_seeds,
 CheckReport fuzz_requests(unsigned first_seed, unsigned num_seeds,
                           int jobs = 1);
 
+/// Fuzzes the machine INI serializer/parser and the machine registry
+/// (invariant "machine-ini-roundtrip"): per seed, a random machine must
+/// round-trip byte-identically through to_ini/from_ini — including a
+/// heterogeneous-cluster variant, which exercises the explicit
+/// cluster.N membership form — corrupted texts (duplicate section
+/// header, duplicate key, empty value) must be rejected with a
+/// line-localised error, and the descriptor must register and resolve
+/// through a MachineRegistry.
+CheckReport fuzz_ini_roundtrip(unsigned first_seed, unsigned num_seeds,
+                               int jobs = 1);
+
 }  // namespace sgp::check

@@ -1,0 +1,45 @@
+#include "core/names.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sgp::core {
+
+std::string lower_ascii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::string closest_name(std::string_view needle,
+                         const std::vector<std::string>& candidates) {
+  const std::string lowered = lower_ascii(needle);
+  std::string best;
+  std::size_t best_dist = std::max<std::size_t>(2, lowered.size() / 2) + 1;
+  for (const auto& c : candidates) {
+    const std::size_t d = edit_distance(lowered, lower_ascii(c));
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,25 @@
+// Shared name-matching helpers for the name-keyed registries (kernels
+// in core::Registry, machines in machine::MachineRegistry): ASCII
+// lowering and an edit distance drive the case-insensitive
+// "did you mean" suggestions both registries print.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgp::core {
+
+/// ASCII-lowered copy (locale-independent).
+std::string lower_ascii(std::string_view s);
+
+/// Levenshtein edit distance.
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// Closest candidate by case-insensitive edit distance, or "" when
+/// nothing is plausibly close (distance > max(2, len/2)).
+std::string closest_name(std::string_view needle,
+                         const std::vector<std::string>& candidates);
+
+}  // namespace sgp::core

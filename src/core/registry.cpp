@@ -1,36 +1,10 @@
 #include "core/registry.hpp"
 
-#include <algorithm>
-#include <cctype>
 #include <stdexcept>
 
+#include "core/names.hpp"
+
 namespace sgp::core {
-
-namespace {
-
-std::string lower(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
-  return out;
-}
-
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    cur[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
-    }
-    std::swap(prev, cur);
-  }
-  return prev[b.size()];
-}
-
-}  // namespace
 
 const Registry::Entry* Registry::find(std::string_view name) const noexcept {
   for (const auto& e : entries_) {
@@ -68,17 +42,7 @@ std::unique_ptr<KernelBase> Registry::create(std::string_view name) const {
 }
 
 std::string Registry::closest(std::string_view name) const {
-  const std::string needle = lower(name);
-  std::string best;
-  std::size_t best_dist = std::max<std::size_t>(2, needle.size() / 2) + 1;
-  for (const auto& e : entries_) {
-    const std::size_t d = edit_distance(needle, lower(e.name));
-    if (d < best_dist) {
-      best_dist = d;
-      best = e.name;
-    }
-  }
-  return best;
+  return closest_name(name, names());
 }
 
 bool Registry::contains(std::string_view name) const noexcept {

@@ -8,6 +8,7 @@
 
 #include "engine/engine.hpp"
 #include "kernels/register_all.hpp"
+#include "machine/registry.hpp"
 #include "report/ratio.hpp"
 #include "sim/simulator.hpp"
 
@@ -69,7 +70,7 @@ SimConfig best_threads_cfg(Precision prec, int n) {
 /// each candidate thread count in suite order, exactly as the historic
 /// serial loop did, so the winner (including tie-breaks) is unchanged.
 int best_threads_uncached(Group g, Precision prec, SweepEngine& eng) {
-  const auto sg = machine::sg2042();
+  const auto& sg = pipeline_machine();
   std::vector<core::KernelSignature> group_sigs;
   for (const auto& sig : signatures()) {
     if (sig.group == g) group_sigs.push_back(sig);
@@ -101,7 +102,7 @@ std::map<std::pair<Group, Precision>, int> best_threads_memo;
 std::vector<RatioSeries> x86_comparison_impl(
     Precision prec, bool multithreaded, SweepEngine& eng,
     const std::function<int(Group)>& best_threads) {
-  const auto sg = machine::sg2042();
+  const auto& sg = pipeline_machine();
 
   // SG2042 baseline: single core, or the most performant thread count
   // per class with cluster placement (Section 3.2's best practice).
@@ -140,7 +141,30 @@ std::vector<RatioSeries> x86_comparison_impl(
   return out;
 }
 
+std::mutex pipeline_machine_mu;
+std::string pipeline_machine_name = "sg2042";
+
 }  // namespace
+
+const machine::MachineDescriptor& pipeline_machine() {
+  std::lock_guard<std::mutex> lock(pipeline_machine_mu);
+  return machine::shared_registry().descriptor(pipeline_machine_name);
+}
+
+std::string set_pipeline_machine(const std::string& name) {
+  // Resolve first so an unknown name throws (with its did-you-mean
+  // hint) before any state changes.
+  (void)machine::shared_registry().descriptor(name);
+  std::string prev;
+  {
+    std::lock_guard<std::mutex> lock(pipeline_machine_mu);
+    prev = pipeline_machine_name;
+    pipeline_machine_name = name;
+  }
+  // The best-threads winners belong to the previous machine.
+  if (prev != name) reset_best_threads_memo();
+  return prev;
+}
 
 std::map<std::string, core::Group> suite_groups() {
   std::map<std::string, core::Group> out;
@@ -207,9 +231,10 @@ std::vector<RatioSeries> figure1(SweepEngine& eng) {
     return c;
   };
 
-  const auto v1 = machine::visionfive_v1();
-  const auto v2 = machine::visionfive_v2();
-  const auto sg = machine::sg2042();
+  const auto& registry = machine::shared_registry();
+  const auto& v1 = registry.descriptor("visionfive-v1");
+  const auto& v2 = registry.descriptor("visionfive-v2");
+  const auto& sg = pipeline_machine();
 
   const auto baseline = kernel_times(v2, cfg(Precision::FP64), eng);
 
@@ -235,7 +260,7 @@ ScalingTable scaling_table(Placement placement, SweepEngine& eng) {
   const auto scope = eng.phase(
       std::string("scaling_table(") +
       std::string(machine::to_string(placement)) + ")");
-  const auto sg = machine::sg2042();
+  const auto& sg = pipeline_machine();
 
   auto cfg = [&](int threads) {
     SimConfig c;
@@ -295,7 +320,7 @@ ScalingTable scaling_table(Placement placement) {
 
 std::vector<RatioSeries> figure2(SweepEngine& eng) {
   const auto scope = eng.phase("figure2");
-  const auto sg = machine::sg2042();
+  const auto& sg = pipeline_machine();
 
   auto cfg = [](Precision p, VectorMode m) {
     SimConfig c;
@@ -324,7 +349,7 @@ std::vector<RatioSeries> figure2() {
 
 std::vector<Fig3Row> figure3(SweepEngine& eng) {
   const auto scope = eng.phase("figure3");
-  const auto sg = machine::sg2042();
+  const auto& sg = pipeline_machine();
 
   auto cfg = [](CompilerId comp, VectorMode mode) {
     SimConfig c;

@@ -107,9 +107,6 @@ void MachineDescriptor::validate() const {
   }
 }
 
-namespace {
-
-/// Builds singleton or k-wide clusters over contiguous core ids.
 std::vector<std::vector<int>> contiguous_clusters(int num_cores, int width) {
   std::vector<std::vector<int>> out;
   for (int base = 0; base < num_cores; base += width) {
@@ -121,6 +118,8 @@ std::vector<std::vector<int>> contiguous_clusters(int num_cores, int width) {
   }
   return out;
 }
+
+namespace {
 
 std::vector<int> id_range(int first, int last) {
   std::vector<int> out;

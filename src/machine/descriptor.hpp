@@ -166,4 +166,8 @@ std::vector<MachineDescriptor> all_machines();
 /// The four x86 parts of Table 4, in the paper's order.
 std::vector<MachineDescriptor> x86_machines();
 
+/// Builds singleton or k-wide clusters over contiguous core ids — the
+/// topology the `cluster_width` shorthand of the INI form describes.
+std::vector<std::vector<int>> contiguous_clusters(int num_cores, int width);
+
 }  // namespace sgp::machine

@@ -1,0 +1,133 @@
+#include "machine/registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/names.hpp"
+#include "machine/serialize.hpp"
+
+namespace sgp::machine {
+
+namespace fs = std::filesystem;
+
+const MachineRegistry::Entry* MachineRegistry::find(
+    std::string_view name) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void MachineRegistry::add(std::string name, MachineFactory factory) {
+  if (!factory) {
+    throw std::invalid_argument("MachineRegistry::add: null factory for " +
+                                name);
+  }
+  add(std::move(name), factory());
+}
+
+void MachineRegistry::add(std::string name, MachineDescriptor desc) {
+  if (name.empty()) {
+    throw std::invalid_argument("MachineRegistry::add: empty machine name");
+  }
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("MachineRegistry::add: duplicate machine '" +
+                                name + "'");
+  }
+  desc.validate();
+  entries_.push_back(
+      Entry{std::move(name),
+            std::make_unique<MachineDescriptor>(std::move(desc))});
+}
+
+IniLoadReport MachineRegistry::register_ini_dir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::invalid_argument(
+        "MachineRegistry::register_ini_dir: not a directory: " + dir);
+  }
+  std::vector<fs::path> packs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ini") {
+      packs.push_back(entry.path());
+    }
+  }
+  // directory_iterator order is unspecified; sort for a deterministic
+  // registration (and therefore listing) order.
+  std::sort(packs.begin(), packs.end());
+
+  IniLoadReport report;
+  for (const auto& path : packs) {
+    try {
+      std::ifstream in(path);
+      if (!in) {
+        throw std::invalid_argument("cannot open file");
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      const std::string name = path.stem().string();
+      add(name, from_ini(text.str()));
+      report.loaded.push_back(name);
+    } catch (const std::exception& e) {
+      report.errors.push_back({path.string(), e.what()});
+    }
+  }
+  return report;
+}
+
+const MachineDescriptor& MachineRegistry::descriptor(
+    std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    std::string msg = "MachineRegistry: unknown machine '" +
+                      std::string(name) + "'";
+    const std::string hint = closest(name);
+    if (!hint.empty()) msg += "; did you mean '" + hint + "'?";
+    throw std::out_of_range(msg);
+  }
+  return *e->desc;
+}
+
+MachineDescriptor MachineRegistry::create(std::string_view name) const {
+  return descriptor(name);
+}
+
+bool MachineRegistry::contains(std::string_view name) const noexcept {
+  return find(name) != nullptr;
+}
+
+std::string MachineRegistry::closest(std::string_view name) const {
+  return core::closest_name(name, names());
+}
+
+std::vector<std::string> MachineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+void register_builtin_machines(MachineRegistry& registry) {
+  registry.add("sg2042", &sg2042);
+  registry.add("visionfive-v1", &visionfive_v1);
+  registry.add("visionfive-v2", &visionfive_v2);
+  registry.add("rome", &amd_rome);
+  registry.add("broadwell", &intel_broadwell);
+  registry.add("icelake", &intel_icelake);
+  registry.add("sandybridge", &intel_sandybridge);
+  registry.add("d1", &allwinner_d1);
+}
+
+MachineRegistry& shared_registry() {
+  static MachineRegistry* registry = [] {
+    auto* r = new MachineRegistry();
+    register_builtin_machines(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace sgp::machine

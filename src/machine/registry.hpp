@@ -1,0 +1,97 @@
+// Name-keyed registry of machine descriptors, in the style of
+// core::Registry: built-in machines register explicitly (see
+// register_builtin_machines), and INI machine packs register through
+// register_ini_dir — so a brand-new CPU is one INI file and zero
+// recompiles. Registration order is preserved (it is the canonical
+// listing order everywhere names are printed), lookups are exact, and
+// closest() provides the case-insensitive did-you-mean hint.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "machine/descriptor.hpp"
+
+namespace sgp::machine {
+
+using MachineFactory = std::function<MachineDescriptor()>;
+
+/// Outcome of loading a pack directory: which files registered and
+/// which were quarantined (with per-file error context). A corrupt
+/// pack never aborts the load of its siblings.
+struct IniLoadReport {
+  struct Error {
+    std::string file;     ///< path of the pack that failed
+    std::string message;  ///< parse/validate/registration error
+  };
+  std::vector<std::string> loaded;  ///< registry names, load order
+  std::vector<Error> errors;        ///< quarantined packs
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+class MachineRegistry {
+ public:
+  /// Registers a factory under `name`. The factory runs once up front:
+  /// the descriptor it yields is validated and cached (the serve layer
+  /// borrows descriptor pointers for the process lifetime, so cached
+  /// descriptors never move or get rebuilt). Throws
+  /// std::invalid_argument on a duplicate or empty name, a null
+  /// factory, or a descriptor that fails validate().
+  void add(std::string name, MachineFactory factory);
+  /// Registers a ready-made descriptor (validated here).
+  void add(std::string name, MachineDescriptor desc);
+
+  /// Loads every `*.ini` machine pack in `dir` (sorted by filename;
+  /// the registry name is the file stem). Parse, validation and
+  /// duplicate-name failures are reported per file in the returned
+  /// report, not thrown. Throws std::invalid_argument only when `dir`
+  /// itself is not a readable directory.
+  IniLoadReport register_ini_dir(const std::string& dir);
+
+  /// Stable reference to the registered descriptor; valid for the
+  /// registry's lifetime. Throws std::out_of_range if unknown, with a
+  /// closest-match suggestion when one is plausibly close.
+  const MachineDescriptor& descriptor(std::string_view name) const;
+
+  /// Fresh mutable copy of the registered descriptor; throws like
+  /// descriptor().
+  MachineDescriptor create(std::string_view name) const;
+
+  bool contains(std::string_view name) const noexcept;
+
+  /// Closest registered name by case-insensitive edit distance, or ""
+  /// when nothing is plausibly close (distance > max(2, len/2)).
+  std::string closest(std::string_view name) const;
+
+  /// All machine names in registration order.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    // unique_ptr keeps descriptor addresses stable across vector
+    // growth; consumers hold references across later registrations.
+    std::unique_ptr<MachineDescriptor> desc;
+  };
+  const Entry* find(std::string_view name) const noexcept;
+  std::vector<Entry> entries_;
+};
+
+/// Registers the built-in descriptor family under its canonical serve
+/// names: sg2042, visionfive-v1, visionfive-v2, rome, broadwell,
+/// icelake, sandybridge, d1 (in that order).
+void register_builtin_machines(MachineRegistry& registry);
+
+/// The process-wide registry, created on first use with the built-ins
+/// already registered. Register INI pack directories here before
+/// serving or resolving: registration is not synchronised against
+/// concurrent readers (the serve/tool pattern is "register at startup,
+/// read-only afterwards").
+MachineRegistry& shared_registry();
+
+}  // namespace sgp::machine

@@ -22,7 +22,12 @@ std::string fmt(double v) {
   char buf[64];
   const auto [end, ec] = std::to_chars(
       buf, buf + sizeof(buf), v, std::chars_format::general, 6);
-  return std::string(buf, ec == std::errc() ? end : buf);
+  if (ec != std::errc()) {
+    // Failing loudly here beats emitting a `key = ` line that only
+    // breaks later, at parse time, with a misleading error.
+    throw std::invalid_argument("to_ini: value is not representable");
+  }
+  return std::string(buf, end);
 }
 
 void emit_cache(std::ostringstream& out, const char* name,
@@ -65,6 +70,13 @@ struct Parser {
                                       ": unterminated section header");
         }
         current = line.substr(1, line.size() - 2);
+        if (sections.count(current) > 0) {
+          // A repeated header used to merge silently into the first
+          // occurrence (and push numa.N regions twice).
+          throw std::invalid_argument("line " + std::to_string(line_no) +
+                                      ": duplicate section [" + current +
+                                      "]");
+        }
         if (current.rfind("numa.", 0) == 0) {
           numa_sections.push_back(current);
         }
@@ -76,8 +88,15 @@ struct Parser {
         throw std::invalid_argument("line " + std::to_string(line_no) +
                                     ": expected 'key = value'");
       }
-      sections[current][trim(line.substr(0, eq))] =
-          trim(line.substr(eq + 1));
+      std::string key = trim(line.substr(0, eq));
+      auto& section = sections[current];
+      if (section.count(key) > 0) {
+        // Last-one-wins was a silent data-loss path.
+        throw std::invalid_argument("line " + std::to_string(line_no) +
+                                    ": duplicate key '" + key + "' in [" +
+                                    current + "]");
+      }
+      section[std::move(key)] = trim(line.substr(eq + 1));
     }
   }
 
@@ -122,7 +141,7 @@ struct Parser {
     const double v = num(section, key);
     // The negated in-range comparison also rejects NaN (casting NaN or
     // an out-of-range double to int is UB).
-    if (!(v >= -2147483647.0 && v <= 2147483647.0) ||
+    if (!(v >= -2147483648.0 && v <= 2147483647.0) ||
         v != static_cast<double>(static_cast<int>(v))) {
       throw std::invalid_argument("value of " + key + " in [" + section +
                                   "] is not a representable integer");
@@ -163,6 +182,28 @@ struct Parser {
   }
 };
 
+/// Parses a comma-separated core-id list (NUMA `cores`, explicit
+/// `cluster.N` membership).
+std::vector<int> parse_core_ids(const std::string& list,
+                                const std::string& section,
+                                const std::string& key) {
+  std::vector<int> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::string id = trim(item);
+    int core_id = 0;
+    const auto [end, ec] =
+        std::from_chars(id.data(), id.data() + id.size(), core_id);
+    if (ec != std::errc() || end != id.data() + id.size()) {
+      throw std::invalid_argument("bad core id '" + id + "' for " + key +
+                                  " in [" + section + "]");
+    }
+    out.push_back(core_id);
+  }
+  return out;
+}
+
 /// Parses one cache section. `shared_by_default` (when >= 1) makes the
 /// shared_by key optional: an explicit key always wins, the default is
 /// used only when the key is absent. A default of 0 keeps it required.
@@ -187,8 +228,25 @@ std::string to_ini(const MachineDescriptor& m) {
   out << "[machine]\n";
   out << "name = " << m.name << "\n";
   out << "num_cores = " << m.num_cores << "\n";
-  out << "cluster_width = "
-      << (m.clusters.empty() ? 1 : m.clusters.front().size()) << "\n\n";
+  // Uniform contiguous topologies keep the cluster_width shorthand;
+  // anything else gets explicit per-cluster membership (emitting only
+  // clusters.front().size() used to silently lose the topology).
+  const int width =
+      m.clusters.empty() ? 1 : static_cast<int>(m.clusters.front().size());
+  if (m.clusters.empty() ||
+      (width >= 1 && m.clusters == contiguous_clusters(m.num_cores, width))) {
+    out << "cluster_width = " << width << "\n\n";
+  } else {
+    for (std::size_t i = 0; i < m.clusters.size(); ++i) {
+      out << "cluster." << i << " = ";
+      for (std::size_t j = 0; j < m.clusters[i].size(); ++j) {
+        if (j) out << ",";
+        out << m.clusters[i][j];
+      }
+      out << "\n";
+    }
+    out << "\n";
+  }
 
   const auto& c = m.core;
   out << "[core]\n";
@@ -253,12 +311,49 @@ MachineDescriptor from_ini(std::string_view text) {
   MachineDescriptor m;
   m.name = p.get("machine", "name");
   m.num_cores = p.int_num("machine", "num_cores");
-  const int cluster_width = p.has("machine") &&
-                                  p.sections.at("machine").count("cluster_width")
-                              ? p.int_num("machine", "cluster_width")
-                              : 1;
-  if (cluster_width < 1) {
-    throw std::invalid_argument("cluster_width must be >= 1");
+
+  // Cluster topology: either the uniform cluster_width shorthand or
+  // explicit cluster.N membership lists, never both. Resolved before
+  // the caches because the [l2] shared_by fallback is the cluster size.
+  const auto& machine_sec = p.sections.at("machine");
+  std::vector<std::string> cluster_keys;
+  for (const auto& [key, value] : machine_sec) {
+    if (key.rfind("cluster.", 0) == 0) cluster_keys.push_back(key);
+  }
+  int cluster_width = 1;
+  if (!cluster_keys.empty()) {
+    if (machine_sec.count("cluster_width") > 0) {
+      throw std::invalid_argument(
+          "[machine] mixes cluster_width with explicit cluster.N lists");
+    }
+    m.clusters.resize(cluster_keys.size());
+    std::vector<char> seen(cluster_keys.size(), 0);
+    for (const auto& key : cluster_keys) {
+      const std::string idx_text = key.substr(8);
+      int idx = -1;
+      const auto [end, ec] = std::from_chars(
+          idx_text.data(), idx_text.data() + idx_text.size(), idx);
+      if (ec != std::errc() || end != idx_text.data() + idx_text.size() ||
+          idx < 0 || idx >= static_cast<int>(cluster_keys.size()) ||
+          seen[static_cast<std::size_t>(idx)]) {
+        throw std::invalid_argument(
+            "cluster.N indices in [machine] must be 0.." +
+            std::to_string(cluster_keys.size() - 1) + " without gaps; got '" +
+            key + "'");
+      }
+      seen[static_cast<std::size_t>(idx)] = 1;
+      m.clusters[static_cast<std::size_t>(idx)] =
+          parse_core_ids(p.get("machine", key), "machine", key);
+    }
+    cluster_width = static_cast<int>(m.clusters.front().size());
+  } else {
+    if (machine_sec.count("cluster_width") > 0) {
+      cluster_width = p.int_num("machine", "cluster_width");
+    }
+    if (cluster_width < 1) {
+      throw std::invalid_argument("cluster_width must be >= 1");
+    }
+    m.clusters = contiguous_clusters(m.num_cores, cluster_width);
   }
 
   CoreSpec c;
@@ -295,30 +390,10 @@ MachineDescriptor from_ini(std::string_view text) {
 
   for (const auto& section : p.numa_sections) {
     NumaRegion r;
-    std::stringstream ss(p.get(section, "cores"));
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      const std::string id = trim(item);
-      int core_id = 0;
-      const auto [end, ec] =
-          std::from_chars(id.data(), id.data() + id.size(), core_id);
-      if (ec != std::errc() || end != id.data() + id.size()) {
-        throw std::invalid_argument("bad core id '" + id + "' in [" +
-                                    section + "]");
-      }
-      r.cores.push_back(core_id);
-    }
+    r.cores = parse_core_ids(p.get(section, "cores"), section, "cores");
     r.controllers = p.int_num(section, "controllers");
     r.mem_bw_gbs = p.num(section, "mem_bw_gbs");
     m.numa.push_back(std::move(r));
-  }
-
-  for (int base = 0; base < m.num_cores; base += cluster_width) {
-    std::vector<int> cl;
-    for (int i = 0; i < cluster_width && base + i < m.num_cores; ++i) {
-      cl.push_back(base + i);
-    }
-    m.clusters.push_back(std::move(cl));
   }
 
   m.fork_join_us = p.num_or("sync", "fork_join_us", 2.0);

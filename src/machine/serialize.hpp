@@ -3,10 +3,15 @@
 // without recompiling.
 //
 // Format: `[section]` headers with `key = value` lines; `#` comments.
-// Sections: [machine], [core], [vector] (optional), [l1d], [l2],
-// [l3] (optional), [numa.N] (one per region), [sync], [memory].
-// Cluster geometry is given as cluster_width in [machine] (clusters are
-// consecutive core ids, as on the SG2042).
+// Repeated section headers and repeated keys within a section are
+// errors (they used to merge silently). Sections: [machine], [core],
+// [vector] (optional), [l1d], [l2], [l3] (optional), [numa.N] (one per
+// region), [sync], [memory].
+// Cluster geometry is given in [machine] either as cluster_width
+// (uniform clusters of consecutive core ids, as on the SG2042) or as
+// explicit membership lists `cluster.0 = 0,1,2` ... `cluster.K = ...`
+// for heterogeneous/interleaved topologies; the two forms are mutually
+// exclusive. See docs/MACHINES.md for the full key reference.
 #pragma once
 
 #include <string>
@@ -16,8 +21,10 @@
 
 namespace sgp::machine {
 
-/// Renders a descriptor to the INI text form. Round-trips with
-/// from_ini() for descriptors whose clusters are consecutive id blocks.
+/// Renders a descriptor to the INI text form; round-trips with
+/// from_ini() (uniform contiguous clusters use the cluster_width
+/// shorthand, every other topology is written out per cluster).
+/// Throws std::invalid_argument if a value cannot be formatted.
 std::string to_ini(const MachineDescriptor& m);
 
 /// Parses the INI text form; validates the result before returning.

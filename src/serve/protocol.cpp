@@ -9,6 +9,7 @@
 #include "engine/fingerprint.hpp"
 #include "kernels/register_all.hpp"
 #include "machine/descriptor.hpp"
+#include "machine/registry.hpp"
 #include "obs/json.hpp"
 
 namespace sgp::serve {
@@ -40,34 +41,11 @@ std::string_view to_string(Op op) noexcept {
   return "?";
 }
 
-const std::vector<std::string>& known_machines() {
-  static const std::vector<std::string> names = {
-      "sg2042",      "visionfive-v1", "visionfive-v2", "rome",
-      "broadwell",   "icelake",       "sandybridge",   "d1",
-  };
-  return names;
+std::vector<std::string> known_machines() {
+  return machine::shared_registry().names();
 }
 
 namespace {
-
-/// name -> descriptor for every servable machine. Built once; the
-/// server borrows descriptor pointers, so the map must never rehash
-/// away — hence the function-local static of a node-based map.
-const std::map<std::string, machine::MachineDescriptor>& machine_map() {
-  static const std::map<std::string, machine::MachineDescriptor> m = [] {
-    std::map<std::string, machine::MachineDescriptor> out;
-    out.emplace("sg2042", machine::sg2042());
-    out.emplace("visionfive-v1", machine::visionfive_v1());
-    out.emplace("visionfive-v2", machine::visionfive_v2());
-    out.emplace("rome", machine::amd_rome());
-    out.emplace("broadwell", machine::intel_broadwell());
-    out.emplace("icelake", machine::intel_icelake());
-    out.emplace("sandybridge", machine::intel_sandybridge());
-    out.emplace("d1", machine::allwinner_d1());
-    return out;
-  }();
-  return m;
-}
 
 /// Registry-backed kernel name validation with did-you-mean.
 const core::Registry& kernel_registry() {
@@ -215,15 +193,18 @@ Request build_request(const JsonValue& root, const ProtocolLimits& limits) {
   const JsonValue* mach = root.find("machine");
   if (mach == nullptr) bad("missing field 'machine'");
   req.machine = field_str(*mach, "machine", 64);
-  const auto& machines = machine_map();
-  if (machines.find(req.machine) == machines.end()) {
+  const auto& registry = machine::shared_registry();
+  if (!registry.contains(req.machine)) {
     std::string known;
-    for (const auto& name : known_machines()) {
+    for (const auto& name : registry.names()) {
       known += known.empty() ? name : " | " + name;
     }
-    bad("unknown machine '" + req.machine + "' (" + known + ")");
+    std::string msg = "unknown machine '" + req.machine + "' (" + known + ")";
+    const std::string hint = registry.closest(req.machine);
+    if (!hint.empty()) msg += "; did you mean '" + hint + "'?";
+    bad(msg);
   }
-  const int num_cores = machines.at(req.machine).num_cores;
+  const int num_cores = registry.descriptor(req.machine).num_cores;
 
   if (root.find("kernel") != nullptr && root.find("kernels") != nullptr) {
     bad("fields 'kernel' and 'kernels' are mutually exclusive");
@@ -306,9 +287,9 @@ Request build_request(const JsonValue& root, const ProtocolLimits& limits) {
 }  // namespace
 
 const machine::MachineDescriptor* machine_by_name(std::string_view name) {
-  const auto& m = machine_map();
-  const auto it = m.find(std::string(name));
-  return it == m.end() ? nullptr : &it->second;
+  const auto& registry = machine::shared_registry();
+  if (!registry.contains(name)) return nullptr;
+  return &registry.descriptor(name);
 }
 
 std::uint64_t Request::fingerprint() const {

@@ -106,13 +106,15 @@ using ParseOutcome =
 ParseOutcome parse_request(std::string_view line,
                            const ProtocolLimits& limits);
 
-/// Known machine names, canonical order (sg2042 first, like
-/// machine::all_machines, plus the D1 background machine).
-const std::vector<std::string>& known_machines();
+/// Servable machine names in registration order (sg2042 first):
+/// machine::shared_registry()'s current listing — built-ins plus any
+/// INI packs registered at startup.
+std::vector<std::string> known_machines();
 
-/// Descriptor for a canonical machine name; nullptr when unknown. The
+/// Descriptor for a registered machine name; nullptr when unknown. The
 /// returned pointer is stable for the life of the process (the server
-/// borrows it in engine::SweepPoint).
+/// borrows it in engine::SweepPoint); it comes straight from
+/// machine::shared_registry().
 const machine::MachineDescriptor* machine_by_name(std::string_view name);
 
 // ------------------------------------------------- response lines --

@@ -1,0 +1,190 @@
+// MachineRegistry: name-keyed descriptor lookup, did-you-mean hints,
+// and INI machine-pack loading with per-file quarantine.
+#include "machine/registry.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "machine/serialize.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace sgp;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("sgp_machreg_" + tag + "_" +
+              std::to_string(static_cast<unsigned>(::getpid())))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+void write_file(const fs::path& p, const std::string& text) {
+  std::ofstream out(p, std::ios::binary);
+  out << text;
+  ASSERT_TRUE(out.flush()) << "cannot write " << p;
+}
+
+// ------------------------------------------------------- built-ins --
+
+TEST(Builtins, CanonicalServeNamesInOrder) {
+  machine::MachineRegistry reg;
+  machine::register_builtin_machines(reg);
+  const std::vector<std::string> expected = {
+      "sg2042",    "visionfive-v1", "visionfive-v2", "rome",
+      "broadwell", "icelake",       "sandybridge",   "d1"};
+  EXPECT_EQ(reg.names(), expected);
+  EXPECT_EQ(reg.descriptor("sg2042").num_cores, 64);
+  EXPECT_EQ(reg.descriptor("visionfive-v2").num_cores, 4);
+}
+
+TEST(Builtins, SharedRegistryHasBuiltinsAndStableAddresses) {
+  auto& reg = machine::shared_registry();
+  ASSERT_TRUE(reg.contains("sg2042"));
+  const auto* first = &reg.descriptor("sg2042");
+  EXPECT_EQ(first, &reg.descriptor("sg2042"));
+}
+
+// ---------------------------------------------------- registration --
+
+TEST(Register, PreservesRegistrationOrder) {
+  machine::MachineRegistry reg;
+  reg.add("charlie", &machine::sg2042);
+  reg.add("alpha", &machine::visionfive_v2);
+  reg.add("bravo", &machine::visionfive_v1);
+  const std::vector<std::string> expected = {"charlie", "alpha", "bravo"};
+  EXPECT_EQ(reg.names(), expected);
+}
+
+TEST(Register, RejectsDuplicateName) {
+  machine::MachineRegistry reg;
+  reg.add("m", &machine::sg2042);
+  EXPECT_THROW(reg.add("m", &machine::visionfive_v2),
+               std::invalid_argument);
+  // The original registration survives the failed duplicate.
+  EXPECT_EQ(reg.descriptor("m").num_cores, 64);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Register, RejectsEmptyNameAndInvalidDescriptor) {
+  machine::MachineRegistry reg;
+  EXPECT_THROW(reg.add("", &machine::sg2042), std::invalid_argument);
+  auto broken = machine::sg2042();
+  broken.num_cores = 0;
+  EXPECT_THROW(reg.add("broken", broken), std::invalid_argument);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Register, CreateReturnsIndependentCopy) {
+  machine::MachineRegistry reg;
+  machine::register_builtin_machines(reg);
+  auto copy = reg.create("sg2042");
+  copy.name = "mutated";
+  EXPECT_NE(reg.descriptor("sg2042").name, "mutated");
+}
+
+// --------------------------------------------------------- lookup --
+
+TEST(Lookup, UnknownNameThrowsWithDidYouMean) {
+  machine::MachineRegistry reg;
+  machine::register_builtin_machines(reg);
+  try {
+    (void)reg.descriptor("sg2402");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sg2402"), std::string::npos) << what;
+    EXPECT_NE(what.find("sg2042"), std::string::npos) << what;
+  }
+}
+
+TEST(Lookup, ClosestIsCaseInsensitive) {
+  machine::MachineRegistry reg;
+  machine::register_builtin_machines(reg);
+  EXPECT_EQ(reg.closest("SG2042"), "sg2042");
+  EXPECT_EQ(reg.closest("Broadwel"), "broadwell");
+  // Nothing plausibly close: no hint rather than a wild guess.
+  EXPECT_EQ(reg.closest("fugaku-a64fx-supercomputer"), "");
+}
+
+// ------------------------------------------------------- INI packs --
+
+TEST(IniDir, LoadsPacksAndQuarantinesCorruptFiles) {
+  const TempDir dir("packs");
+  auto good = machine::visionfive_v2();
+  good.name = "Pack Machine";
+  write_file(dir.path / "pack-good.ini", machine::to_ini(good));
+  write_file(dir.path / "corrupt.ini", "[machine]\nnum_cores = banana\n");
+  write_file(dir.path / "notes.txt", "not an ini pack\n");
+
+  machine::MachineRegistry reg;
+  machine::register_builtin_machines(reg);
+  const auto report = reg.register_ini_dir(dir.str());
+
+  // The good pack registered under its file stem; the corrupt one was
+  // quarantined with context, and the .txt file was ignored entirely.
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.loaded.size(), 1u);
+  EXPECT_EQ(report.loaded[0], "pack-good");
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].file.find("corrupt.ini"), std::string::npos);
+  EXPECT_FALSE(report.errors[0].message.empty());
+  ASSERT_TRUE(reg.contains("pack-good"));
+  EXPECT_EQ(reg.descriptor("pack-good").name, "Pack Machine");
+  EXPECT_FALSE(reg.contains("corrupt"));
+}
+
+TEST(IniDir, DuplicateOfBuiltinIsQuarantinedNotFatal) {
+  const TempDir dir("dup");
+  write_file(dir.path / "sg2042.ini", machine::to_ini(machine::sg2042()));
+
+  machine::MachineRegistry reg;
+  machine::register_builtin_machines(reg);
+  const auto report = reg.register_ini_dir(dir.str());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].file.find("sg2042.ini"), std::string::npos);
+  // The built-in registration is untouched.
+  EXPECT_EQ(reg.descriptor("sg2042").num_cores, 64);
+}
+
+TEST(IniDir, NotADirectoryThrows) {
+  machine::MachineRegistry reg;
+  EXPECT_THROW((void)reg.register_ini_dir("/no/such/dir/anywhere"),
+               std::invalid_argument);
+}
+
+TEST(IniDir, ShippedPacksLoadCleanly) {
+  // The packs shipped in machines/ must parse, validate and register.
+  // (Guarded: the test may run from an install tree without sources.)
+  const fs::path dir = fs::path(SGP_MACHINES_DIR);
+  if (!fs::is_directory(dir)) GTEST_SKIP() << "no machines/ dir";
+  machine::MachineRegistry reg;
+  machine::register_builtin_machines(reg);
+  const auto report = reg.register_ini_dir(dir.string());
+  for (const auto& err : report.errors) {
+    ADD_FAILURE() << err.file << ": " << err.message;
+  }
+  ASSERT_TRUE(reg.contains("sg2044"));
+  ASSERT_TRUE(reg.contains("sg2042-2s"));
+  EXPECT_EQ(reg.descriptor("sg2044").num_cores, 64);
+  ASSERT_TRUE(reg.descriptor("sg2044").core.vector.has_value());
+  EXPECT_TRUE(reg.descriptor("sg2044").core.vector->fp64);
+  EXPECT_EQ(reg.descriptor("sg2042-2s").num_cores, 128);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 
 #include <clocale>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "machine/serialize.hpp"
@@ -167,6 +168,93 @@ TEST(RoundTripExtras, SurvivesCommaDecimalLocale) {
     EXPECT_DOUBLE_EQ(parsed.mem_latency_ns, m.mem_latency_ns) << m.name;
     EXPECT_EQ(to_ini(parsed), text) << m.name;
   }
+}
+
+// ------------------------------------------------- parser bugfixes --
+// Regression tests for the silent-merge parser bugs; each of these was
+// verified failing against the pre-fix parser.
+
+TEST(FromIni, RejectsDuplicateSectionHeadersWithLineNumber) {
+  // A repeated [numa.0] header used to be pushed into numa_sections
+  // twice while its keys merged — two identical NUMA regions, double
+  // bandwidth (or a confusing validate() error at best).
+  auto text = to_ini(visionfive_v2());
+  text +=
+      "\n[numa.0]\ncores = 0,1,2,3\ncontrollers = 1\nmem_bw_gbs = 2.5\n";
+  try {
+    (void)from_ini(text);
+    FAIL() << "duplicate [numa.0] was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate section [numa.0]"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line "), std::string::npos) << what;
+  }
+}
+
+TEST(FromIni, RejectsDuplicateKeysWithLineNumber) {
+  // A repeated key inside a section silently let the last value win.
+  auto text = to_ini(intel_sandybridge());
+  const auto pos = text.find("clock_ghz = ");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "clock_ghz = 9.9\n");
+  try {
+    (void)from_ini(text);
+    FAIL() << "duplicate clock_ghz was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate key 'clock_ghz' in [core]"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line "), std::string::npos) << what;
+  }
+}
+
+TEST(RoundTripExtras, HeterogeneousClustersRoundTrip) {
+  // Pre-fix, to_ini flattened every topology to
+  // cluster_width = clusters.front().size(), so {0} | {1,2,3} came
+  // back as four singleton clusters.
+  MachineDescriptor m = visionfive_v2();
+  m.clusters = {{0}, {1, 2, 3}};
+  m.validate();
+
+  const auto text = to_ini(m);
+  const auto parsed = from_ini(text);
+  EXPECT_EQ(parsed.clusters, m.clusters);
+  // Explicit membership must itself be a serialization fixed point.
+  EXPECT_EQ(to_ini(parsed), text);
+}
+
+TEST(RoundTripExtras, NonContiguousClustersRoundTrip) {
+  // Uniform *sizes* but interleaved membership must also survive: the
+  // uniform shorthand only applies to contiguous id blocks.
+  MachineDescriptor m = visionfive_v2();
+  m.clusters = {{0, 2}, {1, 3}};
+  m.validate();
+  const auto parsed = from_ini(to_ini(m));
+  EXPECT_EQ(parsed.clusters, m.clusters);
+}
+
+TEST(FromIni, RejectsClusterWidthMixedWithExplicitClusters) {
+  auto text = to_ini(visionfive_v2());
+  // to_ini of a uniform machine emits cluster_width; adding an
+  // explicit cluster.N alongside it is ambiguous and must be rejected.
+  const auto pos = text.find("cluster_width");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "cluster.0 = 0,1,2,3\n");
+  EXPECT_THROW((void)from_ini(text), std::invalid_argument);
+}
+
+TEST(FromIni, IntegerBoundsIncludeIntMin) {
+  // -2147483648 itself used to be rejected: the old range check
+  // started at -2147483647.0.
+  auto text = to_ini(visionfive_v2());
+  const auto pos = text.find("decode_width = ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, "decode_width = -2147483648");
+  const auto parsed = from_ini(text);
+  EXPECT_EQ(parsed.core.decode_width, std::numeric_limits<int>::min());
 }
 
 TEST(ToIni, OutputMentionsKeySections) {
