@@ -32,9 +32,15 @@
 // every pack in a directory (parse + validate() + the roofline
 // invariants with the scalar floor off) — the machine-pack CI gate.
 //
+//   8. fuzzes the batched evaluation paths: ragged random batches on
+//      random machines must be bit-identical across per-point
+//      Simulator::run, EvalContext + Simulator::run_batch, and the
+//      engine's memo-miss and memo-hit batch paths.
+//
 //   ./check_cli [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]
 //               [--fuzz-cachesim <n>] [--fuzz-segments <n>]
 //               [--fuzz-requests <n>] [--fuzz-ini <n>]
+//               [--fuzz-batch <n>]
 //               [--machine <name>] [--machine-dir <dir>]
 //               [--lint-machines <dir>]
 //               [--persist <dir>] [--inject-io <plan>] [--jobs <n>]
@@ -73,6 +79,7 @@ struct Options {
   unsigned fuzz_segment_seeds = 4;
   unsigned fuzz_request_seeds = 16;
   unsigned fuzz_ini_seeds = 16;
+  unsigned fuzz_batch_seeds = 8;
   std::vector<std::string> machines;      ///< invariant/cachesim set
   std::vector<std::string> machine_dirs;  ///< INI packs to register
   std::optional<std::string> lint_dir;    ///< standalone pack linter
@@ -88,6 +95,7 @@ struct Options {
             << " [--golden <dir>] [--write-golden <dir>] [--fuzz <n>]"
                " [--fuzz-cachesim <n>] [--fuzz-segments <n>]"
                " [--fuzz-requests <n>] [--fuzz-ini <n>]"
+               " [--fuzz-batch <n>]"
                " [--machine <name>] [--machine-dir <dir>]"
                " [--lint-machines <dir>]"
                " [--persist <dir>] [--inject-io <plan>] [--jobs <n>]"
@@ -127,6 +135,8 @@ Options parse_args(int argc, char** argv) {
       opt.fuzz_request_seeds = static_cast<unsigned>(number(value()));
     } else if (arg == "--fuzz-ini") {
       opt.fuzz_ini_seeds = static_cast<unsigned>(number(value()));
+    } else if (arg == "--fuzz-batch") {
+      opt.fuzz_batch_seeds = static_cast<unsigned>(number(value()));
     } else if (arg == "--machine") {
       opt.machines.push_back(value());
     } else if (arg == "--machine-dir") {
@@ -421,6 +431,20 @@ int main(int argc, char** argv) {
     const auto report =
         check::fuzz_ini_roundtrip(5000, opt.fuzz_ini_seeds, opt.jobs);
     std::cout << "machine-ini fuzz over " << opt.fuzz_ini_seeds
+              << " seeds: " << report.points << " points, "
+              << report.violations.size() << " violations\n";
+    if (!report.ok()) {
+      failed = true;
+      print_violations(report);
+    }
+  }
+
+  // 7c. Batched-path identity fuzzing: scalar run vs EvalContext
+  // run_batch vs the engine's batched memo path, bit-for-bit.
+  if (opt.fuzz_batch_seeds > 0) {
+    const auto report =
+        check::fuzz_batch_identity(6000, opt.fuzz_batch_seeds, opt.jobs);
+    std::cout << "batch-identity fuzz over " << opt.fuzz_batch_seeds
               << " seeds: " << report.points << " points, "
               << report.violations.size() << " violations\n";
     if (!report.ok()) {

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
         {name, report::Table::num(bd.total_s * 1e3, 2),
          report::Table::num(sg.seconds(sig, many) * 1e3, 2),
          report::Table::num(rome.seconds(sig, rome_cfg) * 1e3, 2),
-         bd.note});
+         bd.note_string(sg.machine().name)});
   }
   std::cout << model_table.render() << "\n";
 

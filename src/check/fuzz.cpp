@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -9,12 +10,14 @@
 #include <stdexcept>
 
 #include "cachesim/replay.hpp"
+#include "engine/engine.hpp"
 #include "engine/persist.hpp"
 #include "kernels/register_all.hpp"
 #include "machine/placement.hpp"
 #include "machine/registry.hpp"
 #include "machine/serialize.hpp"
 #include "obs/json.hpp"
+#include "sim/eval_context.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 
@@ -299,8 +302,8 @@ namespace {
 namespace fs = std::filesystem;
 
 /// One seeded, random-but-valid segment: encoded cache entries with
-/// random fingerprints, breakdowns and note strings (empty through
-/// longer-than-a-cache-line, to stress the variable-length tail).
+/// random fingerprints, breakdowns and structured note fields across
+/// their whole valid range.
 std::vector<std::vector<std::byte>> random_payloads(std::mt19937_64& rng) {
   const std::size_t n = rng() % 6;  // 0..5 entries; 0 = empty segment
   std::vector<std::vector<std::byte>> payloads;
@@ -318,11 +321,10 @@ std::vector<std::vector<std::byte>> random_payloads(std::mt19937_64& rng) {
     tb.total_s = tb.compute_s + tb.memory_s + tb.sync_s + tb.atomic_s;
     tb.serving = static_cast<sim::MemLevel>(rng() % 4);
     tb.vector_path = (rng() % 2) != 0;
-    const std::size_t note_len = rng() % 96;
-    tb.note.reserve(note_len);
-    for (std::size_t c = 0; c < note_len; ++c) {
-      tb.note.push_back(static_cast<char>(' ' + rng() % 95));
-    }
+    tb.note = static_cast<compiler::NoteKind>(rng() % 6);
+    tb.note_compiler = static_cast<core::CompilerId>(rng() % 2);
+    tb.note_mode = static_cast<core::VectorMode>(rng() % 3);
+    tb.note_rollback = (rng() % 2) != 0;
     payloads.push_back(engine::encode_cache_entry(key, tb));
   }
   return payloads;
@@ -881,6 +883,178 @@ CheckReport fuzz_ini_roundtrip(unsigned first_seed, unsigned num_seeds,
                         std::string("threw: ") + e.what());
     }
 
+    return shard;
+  });
+}
+
+// ------------------------------------------- batched-path identity --
+
+namespace {
+
+/// "" when two breakdowns agree bit-for-bit on every field; otherwise
+/// the first differing field with both values.
+std::string diff_breakdowns(const sim::TimeBreakdown& a,
+                            const sim::TimeBreakdown& b,
+                            const std::string& an, const std::string& bn) {
+  auto bits_differ = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) != 0;
+  };
+  auto render = [](double x) {
+    std::ostringstream os;
+    os.precision(17);
+    os << x;
+    return os.str();
+  };
+  const struct {
+    const char* name;
+    double a;
+    double b;
+  } fields[] = {
+      {"compute_s", a.compute_s, b.compute_s},
+      {"memory_s", a.memory_s, b.memory_s},
+      {"sync_s", a.sync_s, b.sync_s},
+      {"atomic_s", a.atomic_s, b.atomic_s},
+      {"total_s", a.total_s, b.total_s},
+  };
+  for (const auto& f : fields) {
+    if (bits_differ(f.a, f.b)) {
+      return std::string(f.name) + " " + render(f.a) + " (" + an + ") vs " +
+             render(f.b) + " (" + bn + ")";
+    }
+  }
+  if (a.serving != b.serving) return "serving differs (" + an + " vs " + bn + ")";
+  if (a.vector_path != b.vector_path) {
+    return "vector_path differs (" + an + " vs " + bn + ")";
+  }
+  if (a.note != b.note || a.note_compiler != b.note_compiler ||
+      a.note_mode != b.note_mode || a.note_rollback != b.note_rollback) {
+    return "note fields differ (" + an + " vs " + bn + ")";
+  }
+  return {};
+}
+
+std::string render_batch_config(const sim::SimConfig& cfg) {
+  std::ostringstream os;
+  os << core::to_string(cfg.precision) << "/t=" << cfg.nthreads
+     << "/place=" << static_cast<int>(cfg.placement) << "/"
+     << core::to_string(cfg.compiler) << "/"
+     << core::to_string(cfg.vector_mode);
+  return os.str();
+}
+
+}  // namespace
+
+CheckReport fuzz_batch_identity(unsigned first_seed, unsigned num_seeds,
+                                int jobs) {
+  std::vector<core::KernelSignature> sigs;
+  for (const auto& s : kernels::all_signatures()) {
+    if (s.name == "TRIAD" || s.name == "GEMM" || s.name == "DOT") {
+      sigs.push_back(s);
+    }
+  }
+
+  return sharded_reports(num_seeds, jobs, [&](std::size_t i) {
+    const unsigned seed = first_seed + static_cast<unsigned>(i);
+    CheckReport shard;
+    const auto m = random_machine(seed);
+    const sim::Simulator sim(m);
+    std::mt19937_64 rng(seed);
+
+    auto violation = [&](const core::KernelSignature& sig,
+                         const sim::SimConfig& cfg,
+                         const std::string& detail) {
+      obs::registry().counter("check.sim-batch-identity.violations").add();
+      shard.violations.push_back(Violation{"sim-batch-identity", m.name,
+                                           sig.name,
+                                           render_batch_config(cfg), detail});
+    };
+
+    auto random_config = [&] {
+      sim::SimConfig cfg;
+      cfg.precision = (rng() % 2 == 0) ? core::Precision::FP32
+                                       : core::Precision::FP64;
+      cfg.nthreads = 1 + static_cast<int>(rng() % m.num_cores);
+      cfg.placement =
+          machine::all_placements[rng() % machine::all_placements.size()];
+      cfg.compiler = (rng() % 2 == 0) ? core::CompilerId::Gcc
+                                      : core::CompilerId::Clang;
+      // GCC + VLA is a documented hard error in compiler::plan; the
+      // fuzz stays on valid configs so every path must produce a value.
+      cfg.vector_mode =
+          cfg.compiler == core::CompilerId::Gcc
+              ? (rng() % 2 == 0 ? core::VectorMode::Scalar
+                                : core::VectorMode::VLS)
+              : static_cast<core::VectorMode>(rng() % 3);
+      return cfg;
+    };
+
+    // One reused context per kernel: identity must hold when a context
+    // outlives many batches, not just when built fresh.
+    std::vector<sim::EvalContext> contexts;
+    contexts.reserve(sigs.size());
+    for (const auto& sig : sigs) contexts.emplace_back(sim, sig);
+
+    // Ragged shapes: the empty batch, the single point, and two larger
+    // mixed-kernel grids with seed-dependent sizes.
+    const std::size_t shapes[] = {0, 1, 5 + rng() % 28, 48 + rng() % 80};
+    for (const std::size_t count : shapes) {
+      std::vector<std::size_t> which(count);
+      std::vector<sim::SimConfig> cfgs(count);
+      for (std::size_t p = 0; p < count; ++p) {
+        which[p] = rng() % sigs.size();
+        cfgs[p] = random_config();
+      }
+
+      // (a) scalar oracle
+      std::vector<sim::TimeBreakdown> scalar(count);
+      for (std::size_t p = 0; p < count; ++p) {
+        scalar[p] = sim.run(sigs[which[p]], cfgs[p]);
+      }
+
+      // (b) reused EvalContext + Simulator::run_batch, one sub-batch
+      //     per kernel (a context is bound to one signature).
+      std::vector<sim::TimeBreakdown> batched(count);
+      for (std::size_t s = 0; s < sigs.size(); ++s) {
+        std::vector<std::size_t> idx;
+        for (std::size_t p = 0; p < count; ++p) {
+          if (which[p] == s) idx.push_back(p);
+        }
+        std::vector<sim::SimConfig> sub(idx.size());
+        std::vector<sim::TimeBreakdown> out(idx.size());
+        for (std::size_t k = 0; k < idx.size(); ++k) sub[k] = cfgs[idx[k]];
+        sim.run_batch(contexts[s], sub, out);
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+          batched[idx[k]] = out[k];
+        }
+      }
+
+      // (c) the engine path, memo-miss then memo-hit replay.
+      engine::SweepEngine eng(engine::EngineOptions{/*jobs=*/1,
+                                                    /*use_cache=*/true,
+                                                    /*persist=*/{}});
+      std::vector<engine::SweepPoint> points(count);
+      for (std::size_t p = 0; p < count; ++p) {
+        points[p] = engine::SweepPoint{&m, &sigs[which[p]], cfgs[p]};
+      }
+      const auto engine_miss = eng.run_batch(points);
+      const auto engine_hit = eng.run_batch(points);
+
+      for (std::size_t p = 0; p < count; ++p) {
+        ++shard.points;
+        obs::registry().counter("check.sim-batch-identity.points").add();
+        std::string detail =
+            diff_breakdowns(scalar[p], batched[p], "run", "run_batch");
+        if (detail.empty()) {
+          detail = diff_breakdowns(scalar[p], engine_miss[p], "run",
+                                   "engine-miss");
+        }
+        if (detail.empty()) {
+          detail = diff_breakdowns(scalar[p], engine_hit[p], "run",
+                                   "engine-hit");
+        }
+        if (!detail.empty()) violation(sigs[which[p]], cfgs[p], detail);
+      }
+    }
     return shard;
   });
 }

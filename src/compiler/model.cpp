@@ -61,24 +61,21 @@ CodegenPlan plan(const core::KernelSignature& sig, Precision prec,
 
   CodegenPlan out;
   if (mode == VectorMode::Scalar) {
-    out.note = "vectorisation disabled";
+    out.note = NoteKind::VectorisationDisabled;
     return out;
   }
   if (!m.core.vector) {
-    out.note = "no vector unit on " + m.name;
+    out.note = NoteKind::NoVectorUnit;
     return out;
   }
 
   const auto& facts = sig.facts(comp);
   if (!facts.vectorizes) {
-    out.note = std::string(core::to_string(comp)) +
-               " cannot auto-vectorise this kernel";
+    out.note = NoteKind::CannotVectorise;
     return out;
   }
   if (!facts.runtime_vector_path) {
-    out.note = std::string(core::to_string(comp)) +
-               " vectorises the kernel but the scalar path is chosen at "
-               "runtime";
+    out.note = NoteKind::RuntimeScalar;
     out.scalar_penalty = 1.02;  // versioning/dispatch overhead
     return out;
   }
@@ -97,8 +94,7 @@ CodegenPlan plan(const core::KernelSignature& sig, Precision prec,
     // The paper's key C920 finding: FP64 vector ops are not (usefully)
     // supported, so enabling vectorisation buys nothing and costs a
     // little (Figure 2's slightly negative FP64 whiskers).
-    out.note = "vector unit does not support FP64 arithmetic; executes at "
-               "scalar rate";
+    out.note = NoteKind::NoFp64Vector;
     out.scalar_penalty = 1.04;
     return out;
   }
@@ -124,12 +120,35 @@ CodegenPlan plan(const core::KernelSignature& sig, Precision prec,
                           (mode == VectorMode::VLA ? 0.88 : 1.0);
 
   out.needs_rollback = comp == CompilerId::Clang && is_rvv071;
-  out.note = std::string(core::to_string(comp)) + " " +
-             std::string(core::to_string(mode)) + " vector path";
-  if (out.needs_rollback) {
-    out.note += " (RVV v1.0 rolled back to v0.7.1)";
-  }
+  out.note = NoteKind::VectorPath;
   return out;
+}
+
+std::string note_text(NoteKind kind, CompilerId comp, VectorMode mode,
+                      bool rollback, std::string_view machine_name) {
+  switch (kind) {
+    case NoteKind::VectorisationDisabled:
+      return "vectorisation disabled";
+    case NoteKind::NoVectorUnit:
+      return "no vector unit on " + std::string(machine_name);
+    case NoteKind::CannotVectorise:
+      return std::string(core::to_string(comp)) +
+             " cannot auto-vectorise this kernel";
+    case NoteKind::RuntimeScalar:
+      return std::string(core::to_string(comp)) +
+             " vectorises the kernel but the scalar path is chosen at "
+             "runtime";
+    case NoteKind::NoFp64Vector:
+      return "vector unit does not support FP64 arithmetic; executes at "
+             "scalar rate";
+    case NoteKind::VectorPath: {
+      std::string out = std::string(core::to_string(comp)) + " " +
+                        std::string(core::to_string(mode)) + " vector path";
+      if (rollback) out += " (RVV v1.0 rolled back to v0.7.1)";
+      return out;
+    }
+  }
+  return "?";
 }
 
 CapabilityCount count_capabilities(

@@ -11,7 +11,9 @@
 //    vectorisation on" executes at scalar speed (with small overhead).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/signature.hpp"
@@ -22,6 +24,28 @@ namespace sgp::compiler {
 
 /// How well a vector unit sustains its ideal lane speedup on a pattern.
 double pattern_vector_efficiency(core::AccessPattern p) noexcept;
+
+/// Why the executed code path is what it is. A plan (and every
+/// TimeBreakdown derived from it) carries this enum plus the few fields
+/// the rendered text interpolates (compiler, mode, rollback, machine
+/// name), so the hot path never allocates a string; serialization paths
+/// call note_text() to reproduce the exact historical wording.
+enum class NoteKind : std::uint8_t {
+  VectorisationDisabled,  ///< VectorMode::Scalar requested
+  NoVectorUnit,           ///< machine has no vector unit
+  CannotVectorise,        ///< compiler cannot auto-vectorise the kernel
+  RuntimeScalar,          ///< vectorised, but runtime picks scalar
+  NoFp64Vector,           ///< vector unit lacks FP64 arithmetic
+  VectorPath,             ///< vector instructions are executed
+};
+
+/// Renders the note text for a plan/breakdown byte-identically to the
+/// strings the model used to build per evaluation. `machine_name` is
+/// only interpolated for NoteKind::NoVectorUnit; `comp`/`mode`/
+/// `rollback` only for the compiler-attributed kinds.
+std::string note_text(NoteKind kind, core::CompilerId comp,
+                      core::VectorMode mode, bool rollback,
+                      std::string_view machine_name);
 
 /// The executed code path and its per-strip costs.
 struct CodegenPlan {
@@ -43,7 +67,7 @@ struct CodegenPlan {
   /// Clang output must pass through the RVV v1.0 -> v0.7.1 rollback to
   /// run on this machine.
   bool needs_rollback = false;
-  std::string note;
+  NoteKind note = NoteKind::VectorisationDisabled;
 };
 
 /// Builds the plan. Throws std::invalid_argument for impossible requests

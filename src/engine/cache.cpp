@@ -65,6 +65,70 @@ std::optional<sim::TimeBreakdown> SimCache::find(const CacheKey& key) {
   return it->second.value;
 }
 
+void SimCache::lookup_batch(std::span<const CacheKey> keys,
+                            std::span<sim::TimeBreakdown> results,
+                            std::span<std::uint8_t> hit) {
+  // Bucket the batch by shard so each shard's mutex is taken once.
+  std::array<std::vector<std::size_t>, kShards> buckets;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    buckets[shard_index(keys[i])].push_back(i);
+  }
+  std::uint64_t misses = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const std::size_t i : buckets[s]) {
+      const auto it = shard.map.find(keys[i]);
+      if (it == shard.map.end()) {
+        hit[i] = 0;
+        ++misses;
+        continue;
+      }
+      count_hit(it->second);
+      results[i] = it->second.value;
+      hit[i] = 1;
+    }
+  }
+  if (misses > 0) {
+    misses_.fetch_add(misses, std::memory_order_relaxed);
+    obs_misses_.add(misses);
+    if (tracking()) {
+      persist_misses_.fetch_add(misses, std::memory_order_relaxed);
+      obs_persist_misses_.add(misses);
+    }
+  }
+}
+
+void SimCache::insert_batch(std::span<const CacheKey> keys,
+                            std::span<const sim::TimeBreakdown> values) {
+  std::array<std::vector<std::size_t>, kShards> buckets;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    buckets[shard_index(keys[i])].push_back(i);
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::uint64_t queued = 0;
+    for (const std::size_t i : buckets[s]) {
+      const auto [it, inserted] =
+          shard.map.emplace(keys[i], Entry{values[i], false, false});
+      (void)it;
+      if (inserted && tracking()) {
+        shard.fresh.push_back(keys[i]);
+        ++queued;
+      }
+    }
+    // Under the lock, like get_or_compute: a concurrent drain_fresh
+    // subtracts the vector size it saw, so the counter and the queue
+    // must move together.
+    if (queued > 0) {
+      fresh_count_.fetch_add(queued, std::memory_order_relaxed);
+    }
+  }
+}
+
 void SimCache::insert_loaded(const CacheKey& key,
                              const sim::TimeBreakdown& value) {
   Shard& s = shard_of(key);

@@ -23,6 +23,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -79,6 +80,25 @@ class SimCache {
   /// the hit/miss statistics).
   std::optional<sim::TimeBreakdown> find(const CacheKey& key);
 
+  /// Batched lookup for the engine's grid path: groups the keys by
+  /// shard and takes each touched shard's lock exactly once (the
+  /// per-point paths above lock per key). For every present key it
+  /// writes the value to results[i] and sets hit[i] = 1; absent keys
+  /// leave results[i] untouched and hit[i] = 0. Hit/miss (and persist)
+  /// statistics are counted exactly like get_or_compute. All three
+  /// spans must have the same length.
+  void lookup_batch(std::span<const CacheKey> keys,
+                    std::span<sim::TimeBreakdown> results,
+                    std::span<std::uint8_t> hit);
+
+  /// Batched insert of freshly-computed entries, one lock acquisition
+  /// per touched shard. First insert wins (racing callers compute
+  /// identical values) and only winning inserts queue for persistence,
+  /// matching get_or_compute's insert half. No effect on the hit/miss
+  /// statistics.
+  void insert_batch(std::span<const CacheKey> keys,
+                    std::span<const sim::TimeBreakdown> values);
+
   void clear();
   CacheStats stats() const;
   void reset_stats();
@@ -126,9 +146,11 @@ class SimCache {
     std::vector<CacheKey> fresh;
   };
 
-  Shard& shard_of(const CacheKey& key) {
-    return shards_[CacheKeyHash{}(key) % kShards];
+  static std::size_t shard_index(const CacheKey& key) noexcept {
+    return CacheKeyHash{}(key) % kShards;
   }
+
+  Shard& shard_of(const CacheKey& key) { return shards_[shard_index(key)]; }
 
   bool tracking() const noexcept {
     return persist_tracking_.load(std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "sim/eval_context.hpp"
 #include "threading/pool.hpp"
 
 namespace sgp::engine {
@@ -181,25 +182,142 @@ std::vector<sim::TimeBreakdown> SweepEngine::run_batch(
   const obs::Span span("SweepEngine::run_batch");
   std::vector<sim::TimeBreakdown> results(points.size());
   if (points.empty()) return results;
-  if (jobs_ == 1 || points.size() == 1) {
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      results[i] = run_point(points[i]);
+
+  requests_.fetch_add(points.size(), std::memory_order_relaxed);
+  EngineMetrics::get().requests.add(points.size());
+
+  // Group the batch by (machine, signature) identity: the expensive
+  // fingerprint prefix (machine_fingerprint walks to_ini plus every
+  // descriptor field, ~10 us; signature_fingerprint ~30 fields) is
+  // computed once per group, so each point only hashes its SimConfig.
+  struct Group {
+    const machine::MachineDescriptor* machine = nullptr;
+    const core::KernelSignature* signature = nullptr;
+    const sim::Simulator* simulator = nullptr;
+    std::uint64_t machine_fp = 0;
+    std::uint64_t signature_fp = 0;
+    std::vector<std::size_t> miss;  ///< result indices left to price
+  };
+  struct MachineEntry {
+    const machine::MachineDescriptor* machine;
+    std::uint64_t fp;
+    const sim::Simulator* simulator;
+  };
+  std::vector<Group> groups;
+  std::vector<MachineEntry> machines;
+  std::vector<std::uint32_t> point_group(points.size());
+  std::vector<CacheKey> keys(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    // Batches come from grids: the same few (machine, signature) pairs
+    // repeat point after point, so a linear scan beats hashing.
+    std::size_t g = groups.size();
+    for (std::size_t j = 0; j < groups.size(); ++j) {
+      if (groups[j].machine == p.machine &&
+          groups[j].signature == p.signature) {
+        g = j;
+        break;
+      }
     }
-    maybe_flush();
-    return results;
-  }
-  if (!pool_) pool_ = std::make_unique<threading::ThreadPool>(jobs_);
-  // Grain 1: evaluation points have irregular cost (thread counts and
-  // working sets vary wildly across a grid), and one point is orders of
-  // magnitude more work than one counter fetch. Rethrows the first
-  // exception after the join; results are discarded in that case.
-  pool_->parallel_for_dynamic(
-      points.size(), 1,
-      [&](std::size_t begin, std::size_t end, int /*worker*/) {
-        for (std::size_t i = begin; i < end; ++i) {
-          results[i] = run_point(points[i]);
+    if (g == groups.size()) {
+      Group group;
+      group.machine = p.machine;
+      group.signature = p.signature;
+      std::size_t me = machines.size();
+      for (std::size_t j = 0; j < machines.size(); ++j) {
+        if (machines[j].machine == p.machine) {
+          me = j;
+          break;
         }
-      });
+      }
+      if (me == machines.size()) {
+        const std::uint64_t fp = machine_fingerprint(*p.machine);
+        machines.push_back(
+            MachineEntry{p.machine, fp, &simulator_for(*p.machine, fp)});
+      }
+      group.machine_fp = machines[me].fp;
+      group.simulator = machines[me].simulator;
+      group.signature_fp = signature_fingerprint(*p.signature);
+      groups.push_back(std::move(group));
+    }
+    point_group[i] = static_cast<std::uint32_t>(g);
+    keys[i] = CacheKey{groups[g].machine_fp, groups[g].signature_fp,
+                       config_fingerprint(p.config)};
+  }
+
+  // One lock acquisition per shard for the whole batch, instead of one
+  // per point.
+  std::vector<std::uint8_t> hit(points.size(), 0);
+  if (use_cache_) {
+    cache_.lookup_batch(keys, results, hit);
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!hit[i]) groups[point_group[i]].miss.push_back(i);
+  }
+
+  // Price the misses through sim::Simulator::run_batch, one EvalContext
+  // per task so workers share nothing mutable. Large groups are split
+  // into chunks so a single-group grid still spreads over the pool.
+  constexpr std::size_t kPriceChunk = 256;
+  struct Task {
+    std::size_t group;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t b = 0; b < groups[g].miss.size(); b += kPriceChunk) {
+      tasks.push_back(
+          Task{g, b, std::min(b + kPriceChunk, groups[g].miss.size())});
+    }
+  }
+
+  auto price_task = [&](const Task& t) {
+    const Group& g = groups[t.group];
+    const std::size_t len = t.end - t.begin;
+    sim::EvalContext ctx(*g.simulator, *g.signature);
+    std::vector<sim::SimConfig> cfgs(len);
+    std::vector<sim::TimeBreakdown> outs(len);
+    std::vector<CacheKey> miss_keys(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t i = g.miss[t.begin + k];
+      cfgs[k] = points[i].config;
+      miss_keys[k] = keys[i];
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    g.simulator->run_batch(ctx, cfgs, outs);
+    sim_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+    simulations_.fetch_add(len, std::memory_order_relaxed);
+    EngineMetrics::get().simulations.add(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      results[g.miss[t.begin + k]] = outs[k];
+    }
+    if (use_cache_) cache_.insert_batch(miss_keys, outs);
+  };
+
+  if (jobs_ == 1 || tasks.size() <= 1) {
+    for (const Task& t : tasks) price_task(t);
+  } else {
+    // The pool's job slot is single-occupancy, so concurrent run_batch
+    // callers serialize here (cache lookups above stay concurrent).
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    if (!pool_) pool_ = std::make_unique<threading::ThreadPool>(jobs_);
+    // Grain 1: tasks have irregular cost (group sizes and thread counts
+    // vary wildly across a grid). Rethrows the first exception after
+    // the join; results are discarded in that case.
+    pool_->parallel_for_dynamic(
+        tasks.size(), 1,
+        [&](std::size_t begin, std::size_t end, int /*worker*/) {
+          for (std::size_t i = begin; i < end; ++i) {
+            price_task(tasks[i]);
+          }
+        });
+  }
   maybe_flush();
   return results;
 }

@@ -150,7 +150,11 @@ class SweepEngine {
   }
 
   /// Evaluate a batch of points; results are positionally aligned with
-  /// `points` regardless of scheduling.
+  /// `points` regardless of scheduling. Safe to call from multiple
+  /// threads on one engine: cache lookups/inserts are sharded, and the
+  /// worker-pool dispatch (whose job slot is single-occupancy) is
+  /// serialized on pool_mu_ — concurrent callers overlap on hits and
+  /// take turns pricing misses.
   std::vector<sim::TimeBreakdown> run_batch(
       std::span<const SweepPoint> points);
 
@@ -241,6 +245,9 @@ class SweepEngine {
   std::mutex sims_mu_;
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::Simulator>> sims_;
 
+  /// Guards lazy pool creation and dispatch: ThreadPool has one job
+  /// slot, so concurrent run_batch callers must not dispatch at once.
+  std::mutex pool_mu_;
   std::unique_ptr<threading::ThreadPool> pool_;  ///< lazily created
 
   std::atomic<std::uint64_t> requests_{0};

@@ -297,7 +297,7 @@ SegmentParse load_segment_file(const std::string& path, const PayloadFn& fn,
 std::vector<std::byte> encode_cache_entry(const CacheKey& key,
                                           const sim::TimeBreakdown& value) {
   std::vector<std::byte> out;
-  out.reserve(3 * 8 + 5 * 8 + 4 + 1 + 4 + value.note.size());
+  out.reserve(3 * 8 + 5 * 8 + 6 * 4);
   put_u64(out, key.machine);
   put_u64(out, key.signature);
   put_u64(out, key.config);
@@ -308,10 +308,10 @@ std::vector<std::byte> encode_cache_entry(const CacheKey& key,
   put_f64(out, value.total_s);
   put_u32(out, static_cast<std::uint32_t>(value.serving));
   put_u32(out, value.vector_path ? 1u : 0u);
-  put_u32(out, static_cast<std::uint32_t>(value.note.size()));
-  const auto n = out.size();
-  out.resize(n + value.note.size());
-  std::memcpy(out.data() + n, value.note.data(), value.note.size());
+  put_u32(out, static_cast<std::uint32_t>(value.note));
+  put_u32(out, static_cast<std::uint32_t>(value.note_compiler));
+  put_u32(out, static_cast<std::uint32_t>(value.note_mode));
+  put_u32(out, value.note_rollback ? 1u : 0u);
   return out;
 }
 
@@ -330,15 +330,24 @@ std::optional<std::pair<CacheKey, sim::TimeBreakdown>> decode_cache_entry(
   bd.total_s = r.f64();
   const std::uint32_t serving = r.u32();
   const std::uint32_t vector_path = r.u32();
-  const std::uint32_t note_len = r.u32();
+  const std::uint32_t note = r.u32();
+  const std::uint32_t note_compiler = r.u32();
+  const std::uint32_t note_mode = r.u32();
+  const std::uint32_t note_rollback = r.u32();
   if (!r.ok || serving > static_cast<std::uint32_t>(sim::MemLevel::DRAM) ||
-      vector_path > 1 || payload.size() - r.pos != note_len) {
+      vector_path > 1 ||
+      note > static_cast<std::uint32_t>(compiler::NoteKind::VectorPath) ||
+      note_compiler > static_cast<std::uint32_t>(core::CompilerId::Clang) ||
+      note_mode > static_cast<std::uint32_t>(core::VectorMode::VLA) ||
+      note_rollback > 1 || payload.size() != r.pos) {
     return std::nullopt;
   }
   bd.serving = static_cast<sim::MemLevel>(serving);
   bd.vector_path = vector_path != 0;
-  bd.note.assign(reinterpret_cast<const char*>(payload.data() + r.pos),
-                 note_len);
+  bd.note = static_cast<compiler::NoteKind>(note);
+  bd.note_compiler = static_cast<core::CompilerId>(note_compiler);
+  bd.note_mode = static_cast<core::VectorMode>(note_mode);
+  bd.note_rollback = note_rollback != 0;
   return std::make_pair(key, std::move(bd));
 }
 

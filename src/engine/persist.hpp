@@ -47,8 +47,10 @@ namespace sgp::engine {
 /// 8-byte magic at offset 0 of every segment file.
 inline constexpr char kSegmentMagic[8] = {'S', 'G', 'P', 'C',
                                           'S', 'E', 'G', '\0'};
-/// Current format version; loaders refuse anything else.
-inline constexpr std::uint32_t kSegmentVersion = 1;
+/// Current format version; loaders refuse anything else. Version 2
+/// replaced the free-text note bytes in each cache entry with the four
+/// structured note fields (kind, compiler, mode, rollback).
+inline constexpr std::uint32_t kSegmentVersion = 2;
 /// Header: magic(8) + version(4) + reserved(4, must be 0) + entry
 /// count(8). Entries follow: [len u32][payload][fnv1a(payload) u64].
 inline constexpr std::size_t kSegmentHeaderSize = 24;

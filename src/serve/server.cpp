@@ -463,7 +463,8 @@ std::string Server::evaluate(const Request& req,
                        obs::json_number(tb.atomic_s),
                        obs::json_number(tb.total_s),
                        std::string(sim::to_string(tb.serving)),
-                       tb.vector_path ? "1" : "0", tb.note});
+                       tb.vector_path ? "1" : "0",
+                       tb.note_string(m->name)});
         }
       }
     }
@@ -490,7 +491,7 @@ std::string Server::evaluate(const Request& req,
         out += ",\"serving\":" +
                obs::json_quote(sim::to_string(tb.serving));
         out += ",\"vector_path\":" + bool_str(tb.vector_path);
-        out += ",\"note\":" + obs::json_quote(tb.note);
+        out += ",\"note\":" + obs::json_quote(tb.note_string(m->name));
         out += "}";
       }
     }

@@ -1,0 +1,49 @@
+#include "sim/eval_context.hpp"
+
+#include <stdexcept>
+
+#include "sim/pattern.hpp"
+#include "sim/simulator.hpp"
+
+namespace sgp::sim {
+
+EvalContext::EvalContext(const Simulator& sim,
+                         const core::KernelSignature& sig)
+    : sim_(&sim), sig_(&sig) {
+  // Same validation (and exception text) as the scalar entry point, so
+  // a malformed signature fails identically through either path.
+  if (sig.iters_per_rep <= 0.0 || sig.reps <= 0.0 ||
+      sig.working_set_elems <= 0.0) {
+    throw std::invalid_argument("Simulator::run: malformed signature for " +
+                                sig.name);
+  }
+  if (sig.seq_fraction < 0.0 || sig.seq_fraction > 1.0) {
+    throw std::invalid_argument("Simulator::run: bad seq_fraction for " +
+                                sig.name);
+  }
+  pattern_bw_eff_ = pattern_bandwidth_efficiency(sig.pattern);
+  for (const auto prec : core::all_precisions) {
+    const auto i = static_cast<std::size_t>(prec);
+    ws_bytes_[i] = sig.working_set_bytes(prec);
+    streamed_bytes_per_iter_[i] = sig.streamed_bytes_per_iter(prec);
+  }
+}
+
+EvalContext::Combo& EvalContext::combo(core::Precision prec,
+                                       core::CompilerId comp,
+                                       core::VectorMode mode) {
+  const std::size_t index =
+      (static_cast<std::size_t>(prec) * kCompilers +
+       static_cast<std::size_t>(comp)) *
+          kModes +
+      static_cast<std::size_t>(mode);
+  Combo& c = combos_[index];
+  if (!c.ready) {
+    c.plan = compiler::plan(*sig_, prec, comp, mode, sim_->m_);
+    c.cost = sim_->core_.cycles_per_iteration(*sig_, c.plan, prec);
+    c.ready = true;
+  }
+  return c;
+}
+
+}  // namespace sgp::sim

@@ -1,0 +1,82 @@
+// Per-(machine, kernel signature) evaluation context for batched grid
+// pricing. Everything Simulator::run used to re-derive per point that
+// does not depend on the SimConfig is resolved here once — signature
+// validation, pattern bandwidth efficiency, per-precision working-set
+// and streamed-byte volumes — and the twelve possible
+// (precision, compiler, vector mode) codegen plans plus per-iteration
+// core costs are memoized on first use. Simulator::run_batch prices a
+// whole grid slice against one context with zero per-point allocation;
+// the scratch vectors below are the SoA mirrors of the per-point model
+// terms, reused across batches.
+//
+// A context borrows the simulator and the signature; both must outlive
+// it. It is NOT thread-safe: lazy combo resolution and the scratch
+// arrays mutate on use, so give each worker thread its own context
+// (they are cheap to build — validation plus a ~1 KB zeroed table).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "compiler/model.hpp"
+#include "core/signature.hpp"
+#include "core/types.hpp"
+#include "machine/placement.hpp"
+#include "sim/core_model.hpp"
+
+namespace sgp::sim {
+
+class Simulator;
+
+class EvalContext {
+ public:
+  /// Validates the signature (same exceptions and messages as
+  /// Simulator::run) and resolves the config-independent constants.
+  EvalContext(const Simulator& sim, const core::KernelSignature& sig);
+
+  const core::KernelSignature& signature() const noexcept { return *sig_; }
+  const Simulator& simulator() const noexcept { return *sim_; }
+
+ private:
+  friend class Simulator;
+
+  /// One resolved (precision, compiler, vector mode) combination: the
+  /// codegen plan and the per-iteration core cost. Computed on first
+  /// use; a grid slice that sweeps threads/placement hits the same slot
+  /// for every point.
+  struct Combo {
+    bool ready = false;
+    compiler::CodegenPlan plan;
+    CoreCost cost;
+  };
+
+  static constexpr std::size_t kPrecisions = 2;  ///< core::all_precisions
+  static constexpr std::size_t kCompilers = 2;   ///< Gcc, Clang
+  static constexpr std::size_t kModes = 3;       ///< Scalar, VLS, VLA
+
+  Combo& combo(core::Precision prec, core::CompilerId comp,
+               core::VectorMode mode);
+
+  const Simulator* sim_;
+  const core::KernelSignature* sig_;
+  /// pattern_bandwidth_efficiency(sig.pattern), hoisted.
+  double pattern_bw_eff_ = 1.0;
+  /// Signature byte volumes per precision (indexed by Precision).
+  std::array<double, kPrecisions> ws_bytes_{};
+  std::array<double, kPrecisions> streamed_bytes_per_iter_{};
+  std::array<Combo, kPrecisions * kCompilers * kModes> combos_{};
+
+  // Per-batch scratch (resized once per batch, reused across batches):
+  // SoA columns of the per-point model terms plus the resolved combo
+  // and placement-table rows each point uses.
+  std::vector<double> iters_crit_;
+  std::vector<double> compute_per_rep_;
+  std::vector<double> memory_per_rep_;
+  std::vector<double> sync_per_rep_;
+  std::vector<double> atomic_per_rep_;
+  std::vector<const Combo*> point_combo_;
+  std::vector<const machine::PlacementStats*> point_stats_;
+};
+
+}  // namespace sgp::sim

@@ -33,7 +33,11 @@ TEST(Plan, NoVectorUnitMeansScalar) {
   const auto p = plan(sig, Precision::FP32, CompilerId::Gcc,
                       VectorMode::VLS, machine::visionfive_v2());
   EXPECT_FALSE(p.vector_path);
-  EXPECT_NE(p.note.find("no vector unit"), std::string::npos);
+  EXPECT_EQ(p.note, NoteKind::NoVectorUnit);
+  EXPECT_NE(note_text(p.note, CompilerId::Gcc, VectorMode::VLS, false,
+                      "VisionFive V2")
+                .find("no vector unit"),
+            std::string::npos);
 }
 
 TEST(Plan, GccCannotEmitVla) {
@@ -74,7 +78,11 @@ TEST(Plan, C920Fp64FallsBackToScalarWithOverhead) {
                       VectorMode::VLS, machine::sg2042());
   EXPECT_FALSE(p.vector_path);
   EXPECT_GT(p.scalar_penalty, 1.0);
-  EXPECT_NE(p.note.find("FP64"), std::string::npos);
+  EXPECT_EQ(p.note, NoteKind::NoFp64Vector);
+  EXPECT_NE(note_text(p.note, CompilerId::Gcc, VectorMode::VLS, false,
+                      "SG2042")
+                .find("FP64"),
+            std::string::npos);
 }
 
 TEST(Plan, X86Fp64Vectorizes) {
@@ -112,7 +120,11 @@ TEST(Plan, ClangOnC920NeedsRollback) {
   const auto p = plan(sig, Precision::FP32, CompilerId::Clang,
                       VectorMode::VLS, machine::sg2042());
   EXPECT_TRUE(p.needs_rollback);
-  EXPECT_NE(p.note.find("rolled back"), std::string::npos);
+  EXPECT_EQ(p.note, NoteKind::VectorPath);
+  EXPECT_NE(note_text(p.note, CompilerId::Clang, VectorMode::VLS,
+                      p.needs_rollback, "SG2042")
+                .find("rolled back"),
+            std::string::npos);
 }
 
 TEST(Plan, VlaCostsStreamEfficiency) {

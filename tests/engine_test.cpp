@@ -27,6 +27,9 @@ void expect_same_breakdown(const sim::TimeBreakdown& a,
   EXPECT_EQ(a.serving, b.serving);
   EXPECT_EQ(a.vector_path, b.vector_path);
   EXPECT_EQ(a.note, b.note);
+  EXPECT_EQ(a.note_compiler, b.note_compiler);
+  EXPECT_EQ(a.note_mode, b.note_mode);
+  EXPECT_EQ(a.note_rollback, b.note_rollback);
 }
 
 sim::SimConfig fp32_threads(int n) {

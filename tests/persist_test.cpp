@@ -52,7 +52,9 @@ struct TempDir {
   }
 };
 
-sim::TimeBreakdown breakdown(double base, const std::string& note) {
+// `seed` varies the structured note fields so different entries carry
+// different notes (it used to be free text, pre-NoteKind).
+sim::TimeBreakdown breakdown(double base, const std::string& seed) {
   sim::TimeBreakdown tb;
   tb.compute_s = base;
   tb.memory_s = base * 2;
@@ -61,7 +63,10 @@ sim::TimeBreakdown breakdown(double base, const std::string& note) {
   tb.total_s = tb.compute_s + tb.memory_s + tb.sync_s;
   tb.serving = sim::MemLevel::L2;
   tb.vector_path = true;
-  tb.note = note;
+  tb.note = static_cast<compiler::NoteKind>(seed.size() % 6);
+  tb.note_compiler = static_cast<core::CompilerId>(seed.size() % 2);
+  tb.note_mode = static_cast<core::VectorMode>(seed.size() % 3);
+  tb.note_rollback = !seed.empty();
   return tb;
 }
 
@@ -117,6 +122,9 @@ TEST(Segment, CacheEntryCodecPreservesEveryField) {
   EXPECT_EQ(decoded->second.serving, tb.serving);
   EXPECT_EQ(decoded->second.vector_path, tb.vector_path);
   EXPECT_EQ(decoded->second.note, tb.note);
+  EXPECT_EQ(decoded->second.note_compiler, tb.note_compiler);
+  EXPECT_EQ(decoded->second.note_mode, tb.note_mode);
+  EXPECT_EQ(decoded->second.note_rollback, tb.note_rollback);
 }
 
 TEST(Segment, EmptySegmentIsValid) {
@@ -379,6 +387,9 @@ TEST(EnginePersist, WarmEngineReplaysWithoutSimulating) {
   for (std::size_t i = 0; i < cold_out.size(); ++i) {
     EXPECT_DOUBLE_EQ(warm_out[i].total_s, cold_out[i].total_s) << i;
     EXPECT_EQ(warm_out[i].note, cold_out[i].note) << i;
+    EXPECT_EQ(warm_out[i].note_compiler, cold_out[i].note_compiler) << i;
+    EXPECT_EQ(warm_out[i].note_mode, cold_out[i].note_mode) << i;
+    EXPECT_EQ(warm_out[i].note_rollback, cold_out[i].note_rollback) << i;
     EXPECT_EQ(warm_out[i].serving, cold_out[i].serving) << i;
   }
 }
@@ -425,6 +436,7 @@ TEST(EnginePersist, KilledMidFlushResumesByteIdentically) {
     EXPECT_DOUBLE_EQ(out[i].total_s, reference[i].total_s) << i;
     EXPECT_DOUBLE_EQ(out[i].compute_s, reference[i].compute_s) << i;
     EXPECT_EQ(out[i].note, reference[i].note) << i;
+    EXPECT_EQ(out[i].note_rollback, reference[i].note_rollback) << i;
   }
 }
 
